@@ -1,0 +1,133 @@
+package repro
+
+// The benchmarks below regenerate every table and figure of the
+// paper's evaluation section (see DESIGN.md's experiment index):
+//
+//	BenchmarkTable1  — per-request protocol costs (hops, blocking)
+//	BenchmarkFig4    — execution time in megacycles per grid cell
+//	BenchmarkFig5    — total NoC traffic in bytes per grid cell
+//	BenchmarkFig6    — data-cache stall share per grid cell
+//	BenchmarkAblation* — the repository's extra studies
+//
+// Figures use 8 CPUs by default so a full -bench=. run stays fast; the
+// full 4–64 CPU axis is produced by `go run ./cmd/sweep`. Reported
+// custom metrics carry the actual figure values (Mcycles, MB, stall%).
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/mem"
+)
+
+const benchCPUs = 8
+
+func benchGridCells() []exp.Run {
+	var cells []exp.Run
+	for _, bench := range []exp.Bench{exp.Ocean, exp.Water} {
+		for _, arch := range []mem.Arch{mem.Arch1, mem.Arch2} {
+			for _, proto := range []coherence.Protocol{coherence.WTI, coherence.WBMESI} {
+				cells = append(cells, exp.Run{
+					Bench: bench, Protocol: proto, Arch: arch, NumCPUs: benchCPUs,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// runCell executes one grid point b.N times and returns the last result.
+func runCell(b *testing.B, r exp.Run) *core.Result {
+	b.Helper()
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.Execute(r, exp.DefaultScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for _, proto := range []coherence.Protocol{coherence.WTI, coherence.WBMESI} {
+		b.Run(proto.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exp.Table1(proto); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for _, cell := range benchGridCells() {
+		b.Run(cell.Key(), func(b *testing.B) {
+			res := runCell(b, cell)
+			b.ReportMetric(res.MegaCycles(), "Mcycles")
+		})
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for _, cell := range benchGridCells() {
+		b.Run(cell.Key(), func(b *testing.B) {
+			res := runCell(b, cell)
+			b.ReportMetric(float64(res.TrafficBytes())/1e6, "MBtraffic")
+		})
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for _, cell := range benchGridCells() {
+		b.Run(cell.Key(), func(b *testing.B) {
+			res := runCell(b, cell)
+			b.ReportMetric(res.DataStallPercent(), "stall%")
+		})
+	}
+}
+
+func BenchmarkAblationMesh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationMesh(benchCPUs, exp.QuickScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationStrictSC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationStrictSC(benchCPUs, exp.QuickScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBestWorst(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationBestWorst(benchCPUs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed
+// (simulated cycles per wall second) on a 16-CPU Ocean run — the
+// repository's equivalent of a CABA simulator speed figure.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Execute(exp.Run{
+			Bench: exp.Ocean, Protocol: coherence.WTI, Arch: mem.Arch2, NumCPUs: 16,
+		}, exp.DefaultScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds()/1e6, "Mcyc/s")
+}

@@ -1,0 +1,166 @@
+// Command mcsim runs one simulation point and prints its full
+// statistics: the single-run counterpart of cmd/sweep.
+//
+// Usage:
+//
+//	mcsim [-bench ocean|water|counter] [-protocol wti|wb] [-arch 1|2]
+//	      [-cpus N] [-noc gmn|mesh] [-strict] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/codegen"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "ocean", "workload: ocean, water, lu or counter")
+	protoFlag := flag.String("protocol", "wti", "write policy: wti, wtu, wb or moesi")
+	archFlag := flag.Int("arch", 2, "architecture: 1 (centralized, SMP) or 2 (distributed, DS)")
+	cpus := flag.Int("cpus", 8, "number of processors (1..64)")
+	nocFlag := flag.String("noc", "gmn", "interconnect: gmn, mesh or bus")
+	strict := flag.Bool("strict", false, "strict sequentially-consistent stores (WTI)")
+	verbose := flag.Bool("v", false, "per-CPU and per-bank statistics")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
+	traceN := flag.Int("trace", 0, "print the first N protocol messages (event log)")
+	dirPtrs := flag.Int("dirptrs", 0, "limited-pointer directory: 0 = full map, k = Dir_k_B")
+	rowBytes := flag.Int("rowbytes", 0, "DRAM open-page row size (0 = flat bank latency)")
+	ways := flag.Int("ways", 1, "cache associativity (Table 2: 1 = direct-mapped)")
+	c2c := flag.Bool("c2c", false, "MESI cache-to-cache transfers")
+	rows := flag.Int("rows", 4, "ocean: rows per processor")
+	iters := flag.Int("iters", 4, "ocean: sweeps")
+	mols := flag.Int("mols", 3, "water: molecules per processor")
+	steps := flag.Int("steps", 3, "water: time steps")
+	incs := flag.Int("incs", 100, "counter: increments per thread")
+	lurows := flag.Int("lurows", 3, "lu: matrix rows per processor")
+	flag.Parse()
+
+	var proto coherence.Protocol
+	switch *protoFlag {
+	case "wti":
+		proto = coherence.WTI
+	case "wtu":
+		proto = coherence.WTU
+	case "wb":
+		proto = coherence.WBMESI
+	case "moesi":
+		proto = coherence.MOESI
+	default:
+		log.Fatalf("unknown protocol %q", *protoFlag)
+	}
+	var arch mem.Arch
+	switch *archFlag {
+	case 1:
+		arch = mem.Arch1
+	case 2:
+		arch = mem.Arch2
+	default:
+		log.Fatalf("arch must be 1 or 2")
+	}
+	mode := codegen.SMP
+	if arch == mem.Arch2 {
+		mode = codegen.DS
+	}
+
+	l := mem.DefaultLayout(*cpus)
+	var spec *workload.Spec
+	var err error
+	switch *bench {
+	case "ocean":
+		spec, err = workload.BuildOcean(l, mode, workload.OceanParams{
+			Threads: *cpus, RowsPerThread: *rows, Iters: *iters})
+	case "water":
+		spec, err = workload.BuildWater(l, mode, workload.WaterParams{
+			Threads: *cpus, MolsPerThread: *mols, Steps: *steps})
+	case "lu":
+		spec, err = workload.BuildLU(l, mode, workload.LUParams{
+			Threads: *cpus, RowsPerThread: *lurows})
+	case "counter":
+		spec, err = workload.BuildCounter(l, mode, workload.CounterParams{
+			Threads: *cpus, Incs: *incs})
+	default:
+		log.Fatalf("unknown bench %q", *bench)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig(proto, arch, *cpus)
+	switch *nocFlag {
+	case "mesh":
+		cfg.NoC = core.MeshNet
+	case "bus":
+		cfg.NoC = core.BusNet
+	}
+	cfg.Mem.StrictSC = *strict
+	cfg.Mem.DirPointers = *dirPtrs
+	cfg.Mem.RowBytes = *rowBytes
+	cfg.Mem.Ways = *ways
+	cfg.Mem.CacheToCache = *c2c
+	sys, err := core.Build(cfg, spec.Image)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *traceN > 0 {
+		sys.TraceMessages(os.Stderr, *traceN)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.FlushCaches()
+	check := "no host reference"
+	if spec.Check != nil {
+		if err := spec.Check(sys.Space); err != nil {
+			fmt.Fprintln(os.Stderr, "VERIFICATION FAILED:", err)
+			os.Exit(1)
+		}
+		check = "verified against host reference"
+	}
+
+	if *jsonOut {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Println(res.Summary())
+	fmt.Printf("result check: %s\n", check)
+	fmt.Printf("instruction cache: %d fetches, %d misses\n", res.IFetches, res.IMisses)
+	fmt.Printf("NoC: %d packets, %d flits, inject stalls %d\n",
+		res.Net.Packets, res.Net.TotalFlits, res.Net.InjectStallCycles)
+
+	if *verbose {
+		tc := stats.NewTable("per-CPU", "cpu", "instr", "loads", "stores", "swaps",
+			"data stall", "inst stall", "fpu busy")
+		for i, c := range res.CPU {
+			tc.AddRow(i, c.Instructions, c.Loads, c.Stores, c.Swaps,
+				c.DataStallCycles, c.InstStallCycles, c.FPUBusyCycles)
+		}
+		fmt.Println(tc.Render())
+
+		td := stats.NewTable("per-dcache", "cpu", "ld miss", "st miss", "invals",
+			"fetches", "writebacks", "upgrades", "wbuf stalls")
+		for i, d := range res.DCache {
+			td.AddRow(i, d.LoadMisses, d.StoreMisses, d.InvalsReceived,
+				d.FetchesServed, d.Writebacks, d.Upgrades, d.WBufFullStalls)
+		}
+		fmt.Println(td.Render())
+
+		tb := stats.NewTable("per-bank", "bank", "reads", "readx", "upgr",
+			"wthrough", "wback", "swaps", "ifetch", "invals sent", "deferred")
+		for i, m := range res.Mem {
+			tb.AddRow(i, m.Reads, m.ReadExcls, m.Upgrades, m.WriteThroughs,
+				m.WriteBacks, m.Swaps, m.IFetches, m.InvalsSent, m.Deferred)
+		}
+		fmt.Println(tb.Render())
+	}
+}

@@ -1,0 +1,75 @@
+// Command sr32asm assembles an SR32 source file and prints (or runs)
+// the result.
+//
+// Usage:
+//
+//	sr32asm [-base 0x1000] [-run] [-cpus 1] [-disasm] file.s
+//
+// With -run the assembled program boots on a minimal platform and the
+// tool reports the execution statistics; with -disasm it prints the
+// assembled words alongside their disassembly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func main() {
+	base := flag.Uint("base", 0x1000, "default load address")
+	run := flag.Bool("run", false, "run the program on a simulated platform")
+	cpus := flag.Int("cpus", 1, "processors when running")
+	dis := flag.Bool("disasm", false, "print the assembled words with disassembly")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sr32asm [flags] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := asm.Assemble(string(src), uint32(*base))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bases := make([]uint32, 0, len(prog.Segments))
+	total := 0
+	for b, words := range prog.Segments {
+		bases = append(bases, b)
+		total += len(words)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	fmt.Printf("assembled %d words in %d segments, entry %#x\n", total, len(bases), prog.Entry)
+
+	if *dis {
+		for _, b := range bases {
+			for i, w := range prog.Segments[b] {
+				pc := b + uint32(4*i)
+				fmt.Printf("%08x: %08x  %s\n", pc, w, isa.Disasm(isa.Decode(w), pc))
+			}
+		}
+	}
+
+	if *run {
+		sys, err := core.Build(core.DefaultConfig(coherence.WTI, mem.Arch2, *cpus), prog.Image())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Summary())
+	}
+}

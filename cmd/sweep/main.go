@@ -1,0 +1,226 @@
+// Command sweep regenerates the paper's tables and figures. By default
+// it runs everything; -exp selects one experiment.
+//
+// Usage:
+//
+//	sweep [-exp all|table1|table2|fig4|fig5|fig6|mesh|strictsc|bestworst|
+//	       writeupdate|c2c|scale|dir|bus|ways|moesi]
+//	      [-sizes 4,16,32,64] [-quick] [-csv] [-chart]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/coherence"
+	"repro/internal/exp"
+	"repro/internal/stats"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment to run: all, table1, table2, fig4, fig5, fig6, mesh, strictsc, bestworst, writeupdate, c2c, scale, dir, bus, ways, moesi")
+	sizesFlag := flag.String("sizes", "4,16,32,64", "comma-separated CPU counts for the figure grid")
+	quick := flag.Bool("quick", false, "use reduced workload sizes")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	chart := flag.Bool("chart", false, "render figure tables as ASCII bar charts too")
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		fatal(err)
+	}
+	sc := exp.DefaultScale()
+	if *quick {
+		sc = exp.QuickScale()
+	}
+
+	emit := func(t *stats.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+
+	runTable1 := func() {
+		for _, proto := range []coherence.Protocol{coherence.WTI, coherence.WBMESI} {
+			t, err := exp.Table1(proto)
+			if err != nil {
+				fatal(err)
+			}
+			emit(t)
+		}
+	}
+	runFigures := func(names ...string) {
+		grid, err := exp.Grid(sizes, sc)
+		if err != nil {
+			fatal(err)
+		}
+		for _, name := range names {
+			var t *stats.Table
+			switch name {
+			case "fig4":
+				t = exp.Fig4(grid, sizes)
+			case "fig5":
+				t = exp.Fig5(grid, sizes)
+			case "fig6":
+				t = exp.Fig6(grid, sizes)
+			}
+			emit(t)
+			if *chart {
+				fmt.Println(figureChart(t))
+			}
+		}
+	}
+	runMesh := func() {
+		t, err := exp.AblationMesh(16, sc)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	runStrict := func() {
+		t, err := exp.AblationStrictSC(16, sc)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	runBestWorst := func() {
+		t, err := exp.AblationBestWorst(16)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	runWriteUpdate := func() {
+		t, err := exp.AblationWriteUpdate(16, sc)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	runC2C := func() {
+		t, err := exp.AblationC2C(16, sc)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	runScale := func() {
+		t, err := exp.AblationScale(16, []int{2, 4, 8, 16})
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	runDir := func() {
+		t, err := exp.AblationDirLimited(16, sc)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	runBus := func() {
+		t, err := exp.AblationBus([]int{4, 16}, sc)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	runWays := func() {
+		t, err := exp.AblationWays(16, sc)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	runMOESI := func() {
+		t, err := exp.AblationMOESI(16, sc)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+
+	switch *which {
+	case "all":
+		emit(exp.Table2(sizes))
+		runTable1()
+		runFigures("fig4", "fig5", "fig6")
+		runMesh()
+		runStrict()
+		runBestWorst()
+		runWriteUpdate()
+		runC2C()
+		runScale()
+		runDir()
+		runBus()
+		runWays()
+		runMOESI()
+	case "table1":
+		runTable1()
+	case "table2":
+		emit(exp.Table2(sizes))
+	case "fig4", "fig5", "fig6":
+		runFigures(*which)
+	case "mesh":
+		runMesh()
+	case "strictsc":
+		runStrict()
+	case "bestworst":
+		runBestWorst()
+	case "writeupdate":
+		runWriteUpdate()
+	case "c2c":
+		runC2C()
+	case "scale":
+		runScale()
+	case "dir":
+		runDir()
+	case "bus":
+		runBus()
+	case "ways":
+		runWays()
+	case "moesi":
+		runMOESI()
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *which))
+	}
+}
+
+// figureChart renders a figure table as bar pairs (WTI vs WB per
+// cell), mimicking the paper's grouped bar figures.
+func figureChart(t *stats.Table) string {
+	var bars []stats.Bar
+	for _, r := range t.Rows() {
+		label := strings.Join(r[:3], "/")
+		var wti, wb float64
+		fmt.Sscanf(r[3], "%f", &wti)
+		fmt.Sscanf(r[4], "%f", &wb)
+		bars = append(bars,
+			stats.Bar{Label: label + " WTI", Value: wti},
+			stats.Bar{Label: label + " WB", Value: wb})
+	}
+	return stats.BarChart(t.Title, bars, 48)
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 || n > 64 {
+			return nil, fmt.Errorf("bad CPU count %q (need 1..64)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Ocean: run the Ocean-class grid relaxation (the paper's first
+// SPLASH-2 workload) across both architectures and protocols and print
+// a Figure-4-style comparison, verifying every run against the host
+// reference solver.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/codegen"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	n := flag.Int("cpus", 8, "number of processors (1..64)")
+	rows := flag.Int("rows", 4, "grid rows per processor")
+	iters := flag.Int("iters", 4, "relaxation sweeps")
+	flag.Parse()
+
+	t := stats.NewTable(
+		fmt.Sprintf("Ocean %dx%d grid, %d sweeps", (*n)*(*rows)+2, (*n)*(*rows)+2, *iters),
+		"arch", "kernel", "protocol", "Mcycles", "traffic MB", "data stall %")
+
+	for _, arch := range []mem.Arch{mem.Arch1, mem.Arch2} {
+		mode := codegen.SMP
+		if arch == mem.Arch2 {
+			mode = codegen.DS
+		}
+		spec, err := workload.BuildOcean(mem.DefaultLayout(*n), mode, workload.OceanParams{
+			Threads: *n, RowsPerThread: *rows, Iters: *iters,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, proto := range []coherence.Protocol{coherence.WTI, coherence.WBMESI} {
+			sys, err := core.Build(core.DefaultConfig(proto, arch, *n), spec.Image)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sys.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			sys.FlushCaches()
+			if err := spec.Check(sys.Space); err != nil {
+				log.Fatalf("%v/%v: result does not match the reference solver: %v", arch, proto, err)
+			}
+			t.AddRow(arch.String(), mode.String(), proto.String(),
+				res.MegaCycles(), float64(res.TrafficBytes())/1e6, res.DataStallPercent())
+		}
+	}
+	fmt.Println(t.Render())
+	fmt.Println("every run verified bit-exactly against the host float32 reference solver")
+}

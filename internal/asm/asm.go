@@ -1,0 +1,304 @@
+// Package asm is a two-pass text assembler for SR32. It accepts the
+// syntax produced by isa.Disasm plus labels, directives and the usual
+// pseudo-instructions, and produces a loadable memory image. The
+// programmatic builder in internal/codegen is the primary code path
+// for the workloads; the assembler exists for hand-written test
+// programs and the sr32asm command-line tool.
+//
+// Syntax:
+//
+//	# comment            ; comment
+//	label:               (labels may share a line with an instruction)
+//	add  rd, rs1, rs2    lw rd, off(rs)      sw rs, off(rs)
+//	beq  rs1, rs2, label jal label           jalr rd, rs, off
+//	li   rd, imm32       la rd, symbol       mv rd, rs
+//	b    label           j label             nop   ret   halt
+//	.org addr            .word v[, v...]     .float f[, f...]
+//	.space n             .align n            .equ name, value
+//
+// Registers accept numeric (r0..r31, f0..f31) and ABI names (zero, id,
+// nc, a0..a5, t0..t7, s0..s8, gp, k0, k1, sp, fp, ra).
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Error is an assembly diagnostic with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// Program is an assembled unit.
+type Program struct {
+	// Segments maps base addresses to assembled words.
+	Segments map[uint32][]uint32
+	// Symbols holds every label and .equ definition.
+	Symbols map[string]uint32
+	// Entry is the address of the "_start" symbol if defined, else the
+	// lowest segment base.
+	Entry uint32
+}
+
+// Image converts the program into a loadable memory image.
+func (p *Program) Image() *mem.Image {
+	img := mem.NewImage()
+	for base, words := range p.Segments {
+		buf := make([]byte, len(words)*4)
+		for i, w := range words {
+			buf[i*4] = byte(w)
+			buf[i*4+1] = byte(w >> 8)
+			buf[i*4+2] = byte(w >> 16)
+			buf[i*4+3] = byte(w >> 24)
+		}
+		img.AddSegment(base, buf)
+	}
+	for name, addr := range p.Symbols {
+		img.Define(name, addr)
+	}
+	img.Entry = p.Entry
+	return img
+}
+
+var regNames = map[string]uint8{
+	"zero": 0, "id": 1, "nc": 2,
+	"a0": 3, "a1": 4, "a2": 5, "a3": 6, "a4": 7, "a5": 8,
+	"t0": 9, "t1": 10, "t2": 11, "t3": 12, "t4": 13, "t5": 14, "t6": 15, "t7": 16,
+	"s0": 17, "s1": 18, "s2": 19, "s3": 20, "s4": 21, "s5": 22, "s6": 23, "s7": 24, "s8": 25,
+	"gp": 26, "k1": 27, "k0": 28, "sp": 29, "fp": 30, "ra": 31,
+}
+
+// parseReg accepts r<N> or an ABI alias.
+func parseReg(tok string) (uint8, error) {
+	tok = strings.ToLower(tok)
+	if r, ok := regNames[tok]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(tok, "r") {
+		if n, err := strconv.Atoi(tok[1:]); err == nil && n >= 0 && n <= 31 {
+			return uint8(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", tok)
+}
+
+// parseFReg accepts f<N>.
+func parseFReg(tok string) (uint8, error) {
+	tok = strings.ToLower(tok)
+	if strings.HasPrefix(tok, "f") {
+		if n, err := strconv.Atoi(tok[1:]); err == nil && n >= 0 && n <= 31 {
+			return uint8(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad float register %q", tok)
+}
+
+// item is one assembled unit: either a literal word, an instruction
+// (possibly needing fixup), or reserved space.
+type item struct {
+	line  int
+	addr  uint32
+	words int
+
+	raw     []uint32 // literal data (directives)
+	in      isa.Instr
+	isInstr bool
+	fix     fixKind
+	sym     string // fixup target symbol
+	symOff  int32
+}
+
+type fixKind uint8
+
+const (
+	fixNone fixKind = iota
+	fixBranch
+	fixJal
+	fixLiLa // two-word li/la of a symbol
+)
+
+// Assembler holds the two-pass state.
+type Assembler struct {
+	items  []item
+	syms   map[string]uint32
+	pc     uint32
+	orgSet bool
+}
+
+// New returns an assembler with the program counter at base.
+func New(base uint32) *Assembler {
+	return &Assembler{syms: make(map[string]uint32), pc: base}
+}
+
+// Assemble parses and assembles a complete source text.
+func Assemble(src string, base uint32) (*Program, error) {
+	a := New(base)
+	for i, line := range strings.Split(src, "\n") {
+		if err := a.line(i+1, line); err != nil {
+			return nil, err
+		}
+	}
+	return a.Finish()
+}
+
+func (a *Assembler) define(line int, name string, v uint32) error {
+	if _, dup := a.syms[name]; dup {
+		return &Error{Line: line, Msg: fmt.Sprintf("duplicate symbol %q", name)}
+	}
+	a.syms[name] = v
+	return nil
+}
+
+// line assembles one source line (pass 1: layout + literal encoding).
+func (a *Assembler) line(ln int, s string) error {
+	// Strip comments.
+	if i := strings.IndexAny(s, "#;"); i >= 0 {
+		s = s[:i]
+	}
+	s = strings.TrimSpace(s)
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(s[:i])
+		if label == "" || strings.ContainsAny(label, " \t,") {
+			return &Error{Line: ln, Msg: "malformed label"}
+		}
+		if err := a.define(ln, label, a.pc); err != nil {
+			return err
+		}
+		s = strings.TrimSpace(s[i+1:])
+	}
+	if s == "" {
+		return nil
+	}
+	fields := strings.SplitN(s, " ", 2)
+	op := strings.ToLower(fields[0])
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	if strings.HasPrefix(op, ".") {
+		return a.directive(ln, op, rest)
+	}
+	return a.instruction(ln, op, rest)
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// Finish resolves fixups and produces the program.
+func (a *Assembler) Finish() (*Program, error) {
+	p := &Program{Segments: make(map[uint32][]uint32), Symbols: a.syms}
+	// Resolve and encode.
+	var segBase uint32
+	var seg []uint32
+	var started bool
+	flush := func() {
+		if started && len(seg) > 0 {
+			p.Segments[segBase] = seg
+		}
+		seg = nil
+		started = false
+	}
+	expect := uint32(0)
+	for _, it := range a.items {
+		if !started || it.addr != expect {
+			flush()
+			segBase = it.addr
+			started = true
+		}
+		words, err := a.encodeItem(&it)
+		if err != nil {
+			return nil, err
+		}
+		seg = append(seg, words...)
+		expect = it.addr + uint32(4*len(words))
+	}
+	flush()
+	if e, ok := a.syms["_start"]; ok {
+		p.Entry = e
+	} else {
+		min := uint32(math.MaxUint32)
+		for base := range p.Segments {
+			if base < min {
+				min = base
+			}
+		}
+		if min != math.MaxUint32 {
+			p.Entry = min
+		}
+	}
+	return p, nil
+}
+
+func (a *Assembler) resolve(it *item) (uint32, error) {
+	v, ok := a.syms[it.sym]
+	if !ok {
+		return 0, &Error{Line: it.line, Msg: fmt.Sprintf("undefined symbol %q", it.sym)}
+	}
+	return v + uint32(it.symOff), nil
+}
+
+func (a *Assembler) encodeItem(it *item) ([]uint32, error) {
+	if !it.isInstr {
+		if it.raw != nil {
+			return it.raw, nil
+		}
+		return make([]uint32, it.words), nil // .space
+	}
+	switch it.fix {
+	case fixNone:
+		w, err := isa.Encode(it.in)
+		if err != nil {
+			return nil, &Error{Line: it.line, Msg: err.Error()}
+		}
+		return []uint32{w}, nil
+	case fixBranch, fixJal:
+		target, err := a.resolve(it)
+		if err != nil {
+			return nil, err
+		}
+		if target&3 != 0 {
+			return nil, &Error{Line: it.line, Msg: "branch target not word aligned"}
+		}
+		in := it.in
+		in.Imm = (int32(target) - int32(it.addr+4)) / 4
+		w, err := isa.Encode(in)
+		if err != nil {
+			return nil, &Error{Line: it.line, Msg: err.Error()}
+		}
+		return []uint32{w}, nil
+	case fixLiLa:
+		v, err := a.resolve(it)
+		if err != nil {
+			return nil, err
+		}
+		hi, err1 := isa.Encode(isa.Instr{Op: isa.OpLui, Rd: it.in.Rd, Imm: int32(int16(v >> 16))})
+		lo, err2 := isa.Encode(isa.Instr{Op: isa.OpOri, Rd: it.in.Rd, Rs1: it.in.Rd, Imm: int32(int16(v & 0xffff))})
+		if err1 != nil || err2 != nil {
+			return nil, &Error{Line: it.line, Msg: "cannot encode la"}
+		}
+		return []uint32{hi, lo}, nil
+	default:
+		return nil, &Error{Line: it.line, Msg: "internal: unknown fixup"}
+	}
+}

@@ -1,0 +1,408 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// parseNum parses a literal integer (decimal, 0x hex, optional sign) or
+// an already-defined symbol, with an optional trailing +N/-N offset.
+func (a *Assembler) parseNum(tok string) (int64, error) {
+	tok = strings.TrimSpace(tok)
+	if tok == "" {
+		return 0, fmt.Errorf("empty operand")
+	}
+	// Literal?
+	if v, err := strconv.ParseInt(tok, 0, 64); err == nil {
+		return v, nil
+	}
+	if v, err := strconv.ParseUint(tok, 0, 64); err == nil {
+		return int64(v), nil
+	}
+	// symbol, symbol+N, symbol-N.
+	name, off := tok, int64(0)
+	for _, sep := range []string{"+", "-"} {
+		if i := strings.LastIndex(tok, sep); i > 0 {
+			o, err := strconv.ParseInt(tok[i:], 0, 64)
+			if err == nil {
+				name, off = strings.TrimSpace(tok[:i]), o
+				break
+			}
+		}
+	}
+	if v, ok := a.syms[name]; ok {
+		return int64(v) + off, nil
+	}
+	return 0, fmt.Errorf("undefined symbol or bad number %q", tok)
+}
+
+// parseMemOperand parses "off(rs)" where off may be empty or a number.
+func (a *Assembler) parseMemOperand(tok string) (int32, uint8, error) {
+	open := strings.Index(tok, "(")
+	close := strings.LastIndex(tok, ")")
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", tok)
+	}
+	offTok := strings.TrimSpace(tok[:open])
+	off := int64(0)
+	if offTok != "" {
+		v, err := a.parseNum(offTok)
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	reg, err := parseReg(strings.TrimSpace(tok[open+1 : close]))
+	if err != nil {
+		return 0, 0, err
+	}
+	if off < isa.ImmIMin || off > isa.ImmIMax {
+		return 0, 0, fmt.Errorf("offset %d out of range", off)
+	}
+	return int32(off), reg, nil
+}
+
+func (a *Assembler) push(it item) {
+	it.addr = a.pc
+	a.items = append(a.items, it)
+	a.pc += uint32(4 * it.words)
+}
+
+func (a *Assembler) directive(ln int, op, rest string) error {
+	ops := splitOperands(rest)
+	bad := func(msg string) error { return &Error{Line: ln, Msg: msg} }
+	switch op {
+	case ".org":
+		if len(ops) != 1 {
+			return bad(".org needs one operand")
+		}
+		v, err := a.parseNum(ops[0])
+		if err != nil {
+			return bad(err.Error())
+		}
+		if v < 0 || v > math.MaxUint32 || v%4 != 0 {
+			return bad(".org address must be a word-aligned 32-bit value")
+		}
+		a.pc = uint32(v)
+	case ".word":
+		if len(ops) == 0 {
+			return bad(".word needs operands")
+		}
+		raw := make([]uint32, len(ops))
+		for i, o := range ops {
+			v, err := a.parseNum(o)
+			if err != nil {
+				return bad(err.Error())
+			}
+			raw[i] = uint32(v)
+		}
+		a.push(item{line: ln, words: len(raw), raw: raw})
+	case ".float":
+		if len(ops) == 0 {
+			return bad(".float needs operands")
+		}
+		raw := make([]uint32, len(ops))
+		for i, o := range ops {
+			f, err := strconv.ParseFloat(o, 32)
+			if err != nil {
+				return bad(err.Error())
+			}
+			raw[i] = math.Float32bits(float32(f))
+		}
+		a.push(item{line: ln, words: len(raw), raw: raw})
+	case ".space":
+		if len(ops) != 1 {
+			return bad(".space needs one operand")
+		}
+		v, err := a.parseNum(ops[0])
+		if err != nil || v <= 0 || v%4 != 0 {
+			return bad(".space needs a positive multiple of 4")
+		}
+		a.push(item{line: ln, words: int(v / 4)})
+	case ".align":
+		if len(ops) != 1 {
+			return bad(".align needs one operand")
+		}
+		v, err := a.parseNum(ops[0])
+		if err != nil || v <= 0 || v&(v-1) != 0 {
+			return bad(".align needs a power of two")
+		}
+		if rem := a.pc % uint32(v); rem != 0 {
+			pad := (uint32(v) - rem) / 4
+			a.push(item{line: ln, words: int(pad)})
+		}
+	case ".equ":
+		if len(ops) != 2 {
+			return bad(".equ needs name, value")
+		}
+		v, err := a.parseNum(ops[1])
+		if err != nil {
+			return bad(err.Error())
+		}
+		return a.define(ln, ops[0], uint32(v))
+	default:
+		return bad(fmt.Sprintf("unknown directive %q", op))
+	}
+	return nil
+}
+
+func (a *Assembler) instruction(ln int, op, rest string) error {
+	ops := splitOperands(rest)
+	bad := func(format string, args ...any) error {
+		return &Error{Line: ln, Msg: fmt.Sprintf(format, args...)}
+	}
+	need := func(n int) error {
+		if len(ops) != n {
+			return bad("%s needs %d operands, got %d", op, n, len(ops))
+		}
+		return nil
+	}
+	reg := func(i int) (uint8, error) { return parseReg(ops[i]) }
+	freg := func(i int) (uint8, error) { return parseFReg(ops[i]) }
+	num := func(i int) (int64, error) { return a.parseNum(ops[i]) }
+
+	pushIns := func(in isa.Instr) {
+		a.push(item{line: ln, words: 1, isInstr: true, in: in})
+	}
+
+	switch op {
+	case "add", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu", "mul", "div", "rem":
+		if err := need(3); err != nil {
+			return err
+		}
+		o, _ := isa.OpByName(op)
+		rd, e1 := reg(0)
+		rs1, e2 := reg(1)
+		rs2, e3 := reg(2)
+		if e1 != nil || e2 != nil || e3 != nil {
+			return bad("bad register in %s", op)
+		}
+		pushIns(isa.Instr{Op: o, Rd: rd, Rs1: rs1, Rs2: rs2})
+
+	case "addi", "andi", "ori", "xori", "slti", "slli", "srli", "srai":
+		if err := need(3); err != nil {
+			return err
+		}
+		o, _ := isa.OpByName(op)
+		rd, e1 := reg(0)
+		rs1, e2 := reg(1)
+		v, e3 := num(2)
+		if e1 != nil || e2 != nil {
+			return bad("bad register in %s", op)
+		}
+		if e3 != nil {
+			return bad("%v", e3)
+		}
+		if v < isa.ImmIMin || v > isa.ImmIMax {
+			return bad("immediate %d out of range", v)
+		}
+		pushIns(isa.Instr{Op: o, Rd: rd, Rs1: rs1, Imm: int32(v)})
+
+	case "lui":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := reg(0)
+		v, e2 := num(1)
+		if e1 != nil || e2 != nil {
+			return bad("bad lui operands")
+		}
+		pushIns(isa.Instr{Op: isa.OpLui, Rd: rd, Imm: int32(v)})
+
+	case "lw", "lb", "lbu", "swap":
+		if err := need(2); err != nil {
+			return err
+		}
+		o, _ := isa.OpByName(op)
+		rd, e1 := reg(0)
+		off, rs, e2 := a.parseMemOperand(ops[1])
+		if e1 != nil || e2 != nil {
+			return bad("bad %s operands", op)
+		}
+		pushIns(isa.Instr{Op: o, Rd: rd, Rs1: rs, Imm: off})
+
+	case "sw", "sb":
+		if err := need(2); err != nil {
+			return err
+		}
+		o, _ := isa.OpByName(op)
+		src, e1 := reg(0)
+		off, rs, e2 := a.parseMemOperand(ops[1])
+		if e1 != nil || e2 != nil {
+			return bad("bad %s operands", op)
+		}
+		pushIns(isa.Instr{Op: o, Rd: src, Rs1: rs, Imm: off})
+
+	case "flw", "fsw":
+		if err := need(2); err != nil {
+			return err
+		}
+		o, _ := isa.OpByName(op)
+		fr, e1 := freg(0)
+		off, rs, e2 := a.parseMemOperand(ops[1])
+		if e1 != nil || e2 != nil {
+			return bad("bad %s operands", op)
+		}
+		pushIns(isa.Instr{Op: o, Rd: fr, Rs1: rs, Imm: off})
+
+	case "beq", "bne", "blt", "bge", "bltu", "bgeu":
+		if err := need(3); err != nil {
+			return err
+		}
+		o, _ := isa.OpByName(op)
+		rs1, e1 := reg(0)
+		rs2, e2 := reg(1)
+		if e1 != nil || e2 != nil {
+			return bad("bad register in %s", op)
+		}
+		a.push(item{line: ln, words: 1, isInstr: true, fix: fixBranch, sym: ops[2],
+			in: isa.Instr{Op: o, Rd: rs2, Rs1: rs1}})
+
+	case "b", "j":
+		if err := need(1); err != nil {
+			return err
+		}
+		a.push(item{line: ln, words: 1, isInstr: true, fix: fixBranch, sym: ops[0],
+			in: isa.Instr{Op: isa.OpBeq}})
+
+	case "jal":
+		if err := need(1); err != nil {
+			return err
+		}
+		a.push(item{line: ln, words: 1, isInstr: true, fix: fixJal, sym: ops[0],
+			in: isa.Instr{Op: isa.OpJal}})
+
+	case "jalr":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, e1 := reg(0)
+		rs, e2 := reg(1)
+		v, e3 := num(2)
+		if e1 != nil || e2 != nil || e3 != nil {
+			return bad("bad jalr operands")
+		}
+		pushIns(isa.Instr{Op: isa.OpJalr, Rd: rd, Rs1: rs, Imm: int32(v)})
+
+	case "ret":
+		pushIns(isa.Instr{Op: isa.OpJalr, Rs1: 31})
+
+	case "fadd", "fsub", "fmul", "fdiv":
+		if err := need(3); err != nil {
+			return err
+		}
+		o, _ := isa.OpByName(op)
+		fd, e1 := freg(0)
+		fa, e2 := freg(1)
+		fb, e3 := freg(2)
+		if e1 != nil || e2 != nil || e3 != nil {
+			return bad("bad %s operands", op)
+		}
+		pushIns(isa.Instr{Op: o, Rd: fd, Rs1: fa, Rs2: fb})
+
+	case "feq", "flt", "fle":
+		if err := need(3); err != nil {
+			return err
+		}
+		o, _ := isa.OpByName(op)
+		rd, e1 := reg(0)
+		fa, e2 := freg(1)
+		fb, e3 := freg(2)
+		if e1 != nil || e2 != nil || e3 != nil {
+			return bad("bad %s operands", op)
+		}
+		pushIns(isa.Instr{Op: o, Rd: rd, Rs1: fa, Rs2: fb})
+
+	case "cvtws":
+		if err := need(2); err != nil {
+			return err
+		}
+		fd, e1 := freg(0)
+		rs, e2 := reg(1)
+		if e1 != nil || e2 != nil {
+			return bad("bad cvtws operands")
+		}
+		pushIns(isa.Instr{Op: isa.OpCvtWS, Rd: fd, Rs1: rs})
+
+	case "cvtsw":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := reg(0)
+		fs, e2 := freg(1)
+		if e1 != nil || e2 != nil {
+			return bad("bad cvtsw operands")
+		}
+		pushIns(isa.Instr{Op: isa.OpCvtSW, Rd: rd, Rs1: fs})
+
+	case "fmov", "fabs", "fneg":
+		if err := need(2); err != nil {
+			return err
+		}
+		o, _ := isa.OpByName(op)
+		fd, e1 := freg(0)
+		fs, e2 := freg(1)
+		if e1 != nil || e2 != nil {
+			return bad("bad %s operands", op)
+		}
+		pushIns(isa.Instr{Op: o, Rd: fd, Rs1: fs})
+
+	case "halt":
+		pushIns(isa.Instr{Op: isa.OpHalt})
+	case "nop":
+		pushIns(isa.Instr{Op: isa.OpNop})
+
+	case "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := reg(0)
+		rs, e2 := reg(1)
+		if e1 != nil || e2 != nil {
+			return bad("bad mv operands")
+		}
+		pushIns(isa.Instr{Op: isa.OpOr, Rd: rd, Rs1: rs})
+
+	case "li":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := reg(0)
+		if e1 != nil {
+			return bad("bad li register")
+		}
+		if v, err := num(1); err == nil {
+			// Literal (or already-defined symbol): expand now.
+			u := uint32(v)
+			if int32(u) >= isa.ImmIMin && int32(u) <= isa.ImmIMax {
+				pushIns(isa.Instr{Op: isa.OpAddi, Rd: rd, Imm: int32(u)})
+			} else {
+				pushIns(isa.Instr{Op: isa.OpLui, Rd: rd, Imm: int32(int16(u >> 16))})
+				pushIns(isa.Instr{Op: isa.OpOri, Rd: rd, Rs1: rd, Imm: int32(int16(u & 0xffff))})
+			}
+			return nil
+		}
+		// Forward symbol reference: reserve the two-word form.
+		a.push(item{line: ln, words: 2, isInstr: true, fix: fixLiLa, sym: ops[1],
+			in: isa.Instr{Op: isa.OpLui, Rd: rd}})
+
+	case "la":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := reg(0)
+		if e1 != nil {
+			return bad("bad la register")
+		}
+		a.push(item{line: ln, words: 2, isInstr: true, fix: fixLiLa, sym: ops[1],
+			in: isa.Instr{Op: isa.OpLui, Rd: rd}})
+
+	default:
+		return bad("unknown mnemonic %q", op)
+	}
+	return nil
+}

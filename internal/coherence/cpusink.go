@@ -1,0 +1,22 @@
+package coherence
+
+// CPUSink dispatches messages arriving at a CPU node to the right
+// cache: instruction refills to the I-cache, everything else to the
+// data cache. CPU-side caches always accept (they only ever stage
+// bounded responses).
+type CPUSink struct {
+	D DataCache
+	I *ICache
+}
+
+// Accept implements Sink.
+func (s *CPUSink) Accept(now uint64) bool { return true }
+
+// HandleMsg implements Sink.
+func (s *CPUSink) HandleMsg(m *Msg, now uint64) {
+	if m.Kind == RspIData {
+		s.I.HandleMsg(m, now)
+		return
+	}
+	s.D.HandleMsg(m, now)
+}

@@ -1,0 +1,79 @@
+package coherence
+
+// DataCache is the CPU-facing interface implemented by both protocol
+// controllers. Operations follow a poll-retry discipline: the CPU calls
+// the same operation every cycle until ok is reported; controllers keep
+// the outstanding transaction state, so repeated calls are idempotent.
+//
+// addr/byteEn convention: addr is the byte address of the access; the
+// controller works on the aligned word containing it, with byteEn
+// selecting the accessed bytes (bit 0 = least significant byte of the
+// word). Load returns the full aligned word; only the bytes selected by
+// byteEn are meaningful. Store expects the data positioned within the
+// word at the addressed bytes.
+type DataCache interface {
+	Load(now uint64, addr uint32, byteEn uint8) (word uint32, ok bool)
+	Store(now uint64, addr uint32, word uint32, byteEn uint8) bool
+	Swap(now uint64, addr uint32, newWord uint32) (old uint32, ok bool)
+	// Tick retries any postponed protocol actions (posted writes,
+	// unsent requests).
+	Tick(now uint64)
+	// HandleMsg processes a message delivered to this cache.
+	HandleMsg(m *Msg, now uint64)
+	// Drained reports whether the cache has no outstanding activity
+	// (used for quiescence checks at end of simulation).
+	Drained() bool
+	Stats() *DCacheStats
+	// Protocol identifies the controller's write policy.
+	Protocol() Protocol
+}
+
+// DCacheStats aggregates one data cache's activity counters.
+type DCacheStats struct {
+	Loads       uint64
+	Stores      uint64
+	Swaps       uint64
+	LoadHits    uint64
+	LoadMisses  uint64
+	StoreHits   uint64
+	StoreMisses uint64
+	// WBForwards counts loads satisfied from the write buffer (WTI).
+	WBForwards uint64
+	// InvalsReceived counts CmdInval messages processed.
+	InvalsReceived uint64
+	// UpdatesReceived / UpdatesApplied count WTU word updates seen and
+	// actually merged into a resident line.
+	UpdatesReceived uint64
+	UpdatesApplied  uint64
+	// CopiesDropped counts invalidations that actually dropped a copy.
+	CopiesDropped uint64
+	// FetchesServed counts CmdFetch/CmdFetchInval served (MESI owner).
+	FetchesServed uint64
+	// C2CTransfers counts cache-to-cache data transfers served.
+	C2CTransfers uint64
+	// Writebacks counts dirty evictions (MESI).
+	Writebacks uint64
+	// Upgrades counts Shared write hits requiring exclusivity (MESI).
+	Upgrades uint64
+	// WBufFullStalls counts stores rejected on a full write buffer.
+	WBufFullStalls uint64
+}
+
+// WordAddr returns the aligned word address containing addr.
+func WordAddr(addr uint32) uint32 { return addr &^ 3 }
+
+// ByteEnFor returns the byte-enable mask for an access of the given
+// size (1, 2 or 4 bytes) at addr.
+func ByteEnFor(addr uint32, size int) uint8 {
+	shift := addr & 3
+	switch size {
+	case 1:
+		return 1 << shift
+	case 2:
+		return 3 << shift
+	case 4:
+		return 0xf
+	default:
+		panic("coherence: unsupported access size")
+	}
+}

@@ -1,0 +1,40 @@
+// Package coherence implements the two compared cache-coherence
+// protocols of the paper — write-through invalidate (WTI) and
+// write-back MESI (WB) — together with everything they need: direct-
+// mapped cache arrays, the 8-word write buffer, the read-only
+// instruction cache, the full-map (Censier–Feautrier) directory, and
+// the memory-bank controller.
+//
+// # Transport assumptions
+//
+// The protocols assume, and the noc package provides, FIFO ordering of
+// messages per (source node, destination node) pair. Together with the
+// directory's one-transaction-per-block serialization this resolves the
+// classic directory-protocol races without NACKs or retries:
+//
+//   - Upgrade vs. invalidate: a cache may send ReqUpgrade for a Shared
+//     line and then receive CmdInval for the same block, meaning some
+//     other writer was serialized first at the directory. The cache
+//     invalidates, acks, and keeps waiting. When the directory later
+//     processes the upgrade it observes the requester is no longer a
+//     sharer and promotes the upgrade to a full exclusive read,
+//     responding with data rather than a data-less upgrade ack.
+//   - Writeback vs. fetch: an owner may evict a Modified block (sending
+//     ReqWriteBack) and then receive CmdFetch/CmdFetchInval for it. The
+//     owner answers "no data"; because each node emits messages through
+//     a single FIFO, the writeback is guaranteed to reach the bank
+//     before the no-data answer, so the bank's storage is already
+//     up to date when it completes the waiting transaction.
+//   - ReqWriteBack is never deferred by a busy directory entry (it is
+//     the message that unblocks pending transactions), which is the
+//     usual deadlock-avoidance rule.
+//
+// # Blocking and hop costs (the paper's Table 1)
+//
+// WTI: read hits cost nothing; read misses are blocking 2-hop
+// transactions; writes go through the write buffer and are non-blocking
+// (2 hops without sharers, 4 with invalidations) until the buffer
+// fills. WB-MESI: read misses are 2 hops (clean) or 4 hops (owned
+// remotely); write misses and Shared write hits block the processor for
+// 2–6 hops including possible fetch and victim writeback.
+package coherence

@@ -1,0 +1,128 @@
+package coherence
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// LineInfo describes one resident cache line for inspection.
+type LineInfo struct {
+	Addr  uint32
+	State LineState
+	Data  []byte
+}
+
+// Inspectable is implemented by cache controllers that can enumerate
+// their resident lines; the invariant checker and tests use it.
+type Inspectable interface {
+	Lines() []LineInfo
+}
+
+// Lines implements Inspectable.
+func (c *WTICache) Lines() []LineInfo { return c.arr.lines() }
+
+// Lines implements Inspectable.
+func (c *MESICache) Lines() []LineInfo { return c.arr.lines() }
+
+// Lines implements Inspectable for the instruction cache.
+func (c *ICache) Lines() []LineInfo { return c.arr.lines() }
+
+func (c *cacheArray) lines() []LineInfo {
+	var out []LineInfo
+	for line := 0; line < c.numSets*c.ways; line++ {
+		if c.state[line] == Invalid {
+			continue
+		}
+		d := make([]byte, c.blockBytes)
+		copy(d, c.lineData(line))
+		out = append(out, LineInfo{Addr: c.blockAddr(line), State: c.state[line], Data: d})
+	}
+	return out
+}
+
+// CheckCoherence verifies the protocol invariants over a quiescent
+// system (no in-flight transactions):
+//
+//  1. Single writer: at most one cache holds a block in M or E, and
+//     then no other cache holds any copy of it.
+//  2. Clean-copy agreement: every S or E copy's bytes equal memory
+//     (for WTI, every Valid copy — memory is always up to date).
+//  3. Directory agreement: an M/E copy's holder is the directory's
+//     recorded owner; every S copy's holder is in the recorded sharer
+//     set (the directory may record stale sharers for silently dropped
+//     copies, but never the reverse).
+//
+// bankOf maps a block address to its directory-holding bank.
+func CheckCoherence(caches []DataCache, space *mem.Space, bankOf func(addr uint32) *MemCtrl) error {
+	type holder struct {
+		cpu  int
+		info LineInfo
+	}
+	blocks := make(map[uint32][]holder)
+	for cpu, dc := range caches {
+		insp, ok := dc.(Inspectable)
+		if !ok {
+			return fmt.Errorf("coherence: cache %d is not inspectable", cpu)
+		}
+		for _, li := range insp.Lines() {
+			blocks[li.Addr] = append(blocks[li.Addr], holder{cpu: cpu, info: li})
+		}
+	}
+	for blk, hs := range blocks {
+		// At most one supplier (Owned/Exclusive/Modified) per block.
+		supplier := -1
+		var supplierState LineState
+		var supplierData []byte
+		for _, h := range hs {
+			if h.info.State >= Owned {
+				if supplier >= 0 {
+					return fmt.Errorf("coherence: block %#x: two supplier holders (cpu %d and %d)", blk, supplier, h.cpu)
+				}
+				supplier = h.cpu
+				supplierState = h.info.State
+				supplierData = h.info.Data
+			}
+		}
+		// E and M exclude every other copy; O coexists with S copies.
+		if supplier >= 0 && supplierState != Owned && len(hs) > 1 {
+			return fmt.Errorf("coherence: block %#x: exclusive holder cpu %d coexists with %d other copies",
+				blk, supplier, len(hs)-1)
+		}
+		memData := make([]byte, len(hs[0].info.Data))
+		space.ReadBlock(blk, memData)
+		mc := bankOf(blk)
+		sharers, owner := mc.DirSnapshot(blk)
+		for _, h := range hs {
+			switch h.info.State {
+			case Shared:
+				if supplierState == Owned {
+					// Memory may be stale; the Owned copy is the
+					// authority the Shared copies must agree with.
+					if !bytes.Equal(h.info.Data, supplierData) {
+						return fmt.Errorf("coherence: block %#x: cpu %d shared copy differs from the Owned copy", blk, h.cpu)
+					}
+				} else if !bytes.Equal(h.info.Data, memData) {
+					return fmt.Errorf("coherence: block %#x: cpu %d shared copy differs from memory", blk, h.cpu)
+				}
+				if sharers&(1<<h.cpu) == 0 && owner != h.cpu {
+					return fmt.Errorf("coherence: block %#x: cpu %d holds S copy unknown to the directory", blk, h.cpu)
+				}
+			case Exclusive:
+				if !bytes.Equal(h.info.Data, memData) {
+					return fmt.Errorf("coherence: block %#x: cpu %d exclusive copy differs from memory", blk, h.cpu)
+				}
+				if owner != h.cpu {
+					return fmt.Errorf("coherence: block %#x: cpu %d holds E but directory owner is %d", blk, h.cpu, owner)
+				}
+			case Owned, Modified:
+				if owner != h.cpu {
+					return fmt.Errorf("coherence: block %#x: cpu %d holds %v but directory owner is %d",
+						blk, h.cpu, h.info.State, owner)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,601 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// MemStats aggregates one bank's activity.
+type MemStats struct {
+	Reads         uint64
+	ReadExcls     uint64
+	Upgrades      uint64
+	WriteThroughs uint64
+	WriteBacks    uint64
+	Swaps         uint64
+	IFetches      uint64
+	InvalsSent    uint64
+	UpdatesSent   uint64
+	FetchesSent   uint64
+	Deferred      uint64
+	RowHits       uint64
+	RowMisses     uint64
+}
+
+// dirEntry is one block's full-map directory state (Censier–Feautrier:
+// a presence bit per cache plus an exclusivity owner) together with the
+// per-block transaction serialization state.
+type dirEntry struct {
+	sharers uint64 // presence bitmap, one bit per CPU (hence the 64-CPU cap)
+	owner   int16  // exclusive owner cache id, -1 when none (MESI only)
+	// bcast marks a limited-pointer entry that overflowed its pointers:
+	// the bitmap stays faithful for checking, but the protocol must
+	// broadcast its invalidations/updates as real Dir_k_B hardware
+	// would, having lost precise sharer knowledge.
+	bcast bool
+
+	busy        bool
+	kind        MsgKind // transaction being completed
+	req         *Msg    // original request awaiting completion
+	fetchTarget int16   // owner a Cmd{Fetch,FetchInval} was sent to
+	waitAcks    int
+	oldWord     uint32 // WTI swap: value to return
+	// Fetch/forwarding bookkeeping: a transaction with a pending fetch
+	// closes only when the owner's RspFetch arrived (plus, when it was
+	// forwarded cache-to-cache, the requester's RspC2CDone) and every
+	// awaited invalidation ack is in — in any arrival order.
+	fetchPending bool
+	fetchSeen    bool
+	fetchFwd     bool
+	fetchHadData bool
+	retainOwner  bool
+	c2cDone      bool
+	deferred     []*Msg
+}
+
+// MemCtrl is one memory bank: backing storage timing, the co-located
+// full-map directory, and the memory-side protocol engine for whichever
+// write policy the platform runs. It consumes at most one message per
+// service interval, so bank contention appears as NoC backpressure —
+// the effect driving the paper's Architecture 1 results.
+type MemCtrl struct {
+	p      Params
+	proto  Protocol
+	bank   int
+	nodeID int
+	node   *Node
+	space  *mem.Space
+
+	dir       map[uint32]*dirEntry
+	busyUntil uint64
+	st        MemStats
+
+	// Open-page row buffer state (Params.RowBytes > 0).
+	rowOpen bool
+	openRow uint32
+}
+
+// NewMemCtrl builds the controller for one bank. Call SetNode before
+// the first cycle.
+func NewMemCtrl(bank, nodeID int, p Params, proto Protocol, space *mem.Space) *MemCtrl {
+	return &MemCtrl{
+		p:      p,
+		proto:  proto,
+		bank:   bank,
+		nodeID: nodeID,
+		space:  space,
+		dir:    make(map[uint32]*dirEntry),
+	}
+}
+
+// SetNode attaches the bank's NoC node (created after the controller
+// because the node needs the controller as its sink).
+func (mc *MemCtrl) SetNode(n *Node) { mc.node = n }
+
+// Stats returns the bank's counters.
+func (mc *MemCtrl) Stats() *MemStats { return &mc.st }
+
+// Accept implements Sink: the bank takes one message per service
+// interval.
+func (mc *MemCtrl) Accept(now uint64) bool { return now >= mc.busyUntil }
+
+func (mc *MemCtrl) entry(blk uint32) *dirEntry {
+	e := mc.dir[blk]
+	if e == nil {
+		e = &dirEntry{owner: -1, fetchTarget: -1}
+		mc.dir[blk] = e
+	}
+	return e
+}
+
+// accessLatency returns the storage latency for an access to addr and
+// updates the row-buffer state: the paper's flat MemLatency, or the
+// open-page model when RowBytes is configured.
+func (mc *MemCtrl) accessLatency(addr uint32) uint64 {
+	if mc.p.RowBytes == 0 {
+		return uint64(mc.p.MemLatency)
+	}
+	row := addr / uint32(mc.p.RowBytes)
+	if mc.rowOpen && row == mc.openRow {
+		mc.st.RowHits++
+		return uint64(mc.p.MemLatency)
+	}
+	mc.rowOpen = true
+	mc.openRow = row
+	mc.st.RowMisses++
+	return 3 * uint64(mc.p.MemLatency)
+}
+
+func (mc *MemCtrl) blockCopy(blk uint32) []byte {
+	d := make([]byte, mc.p.BlockBytes)
+	mc.space.ReadBlock(blk, d)
+	return d
+}
+
+func serviceCost(k MsgKind, memService int) int {
+	switch k {
+	case RspInvAck, RspFetch, ReqWriteBack:
+		return 1
+	default:
+		return memService
+	}
+}
+
+// HandleMsg implements Sink.
+func (mc *MemCtrl) HandleMsg(m *Msg, now uint64) {
+	mc.busyUntil = now + uint64(serviceCost(m.Kind, mc.p.MemService))
+	mc.process(m, now)
+}
+
+// process dispatches one message; deferred messages re-enter here when
+// their block's transaction completes.
+func (mc *MemCtrl) process(m *Msg, now uint64) {
+	switch m.Kind {
+	case ReqIFetch:
+		mc.st.IFetches++
+		mc.node.SendCtrl(&Msg{Kind: RspIData, Src: mc.nodeID, Addr: m.Addr, Data: mc.blockCopy(m.Addr)},
+			m.Src, now+mc.accessLatency(m.Addr))
+		return
+	case ReqWriteBack:
+		// Never deferred: writebacks unblock pending transactions.
+		mc.st.WriteBacks++
+		mc.space.WriteBlock(m.Addr, m.Data)
+		e := mc.entry(m.Addr)
+		if e.owner == int16(m.Src) {
+			e.owner = -1
+		}
+		mc.node.SendCtrl(&Msg{Kind: RspWriteAck, Src: mc.nodeID, Addr: m.Addr}, m.Src, now+1)
+		return
+	case RspInvAck:
+		mc.handleInvAck(m, now)
+		return
+	case RspFetch:
+		mc.handleFetchRsp(m, now)
+		return
+	case RspC2CDone:
+		mc.handleC2CDone(m, now)
+		return
+	}
+
+	blk := mc.p.BlockAddr(m.Addr)
+	e := mc.entry(blk)
+	if e.busy {
+		mc.st.Deferred++
+		e.deferred = append(e.deferred, m)
+		return
+	}
+	switch m.Kind {
+	case ReqRead:
+		mc.handleRead(e, m, now)
+	case ReqReadExcl:
+		mc.handleReadExcl(e, m, now)
+	case ReqUpgrade:
+		mc.handleUpgrade(e, m, now)
+	case ReqWriteThrough:
+		mc.handleWriteThrough(e, m, now)
+	case ReqSwap:
+		mc.handleSwap(e, m, now)
+	default:
+		panic(fmt.Sprintf("coherence: bank %d: unhandled %v", mc.bank, m))
+	}
+}
+
+// respondData sends a block data response granting excl or shared.
+func (mc *MemCtrl) respondData(blk uint32, dst int, excl bool, now uint64) {
+	mc.node.SendCtrl(&Msg{
+		Kind: RspData, Src: mc.nodeID, Addr: blk, Data: mc.blockCopy(blk), Excl: excl,
+	}, dst, now+mc.accessLatency(blk))
+}
+
+// noteSharer records a new sharer and, under a limited-pointer
+// directory, flips the entry to broadcast mode when the pointer budget
+// overflows.
+func (mc *MemCtrl) noteSharer(e *dirEntry, cpu int) {
+	e.sharers |= 1 << cpu
+	if k := mc.p.DirPointers; k > 0 && popcount(e.sharers) > k {
+		e.bcast = true
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// invalTargets returns the caches an invalidation (or update) must go
+// to, excluding the writer: the precise sharer set, or — after a
+// limited-pointer overflow — every cache in the system.
+func (mc *MemCtrl) invalTargets(e *dirEntry, writer int) uint64 {
+	if e.bcast {
+		all := uint64(1)<<mc.p.NumCPUs - 1
+		return all &^ (1 << writer)
+	}
+	return e.sharers &^ (1 << writer)
+}
+
+// sendInvals issues CmdInval to every cache in the mask and returns the
+// count.
+func (mc *MemCtrl) sendInvals(blk uint32, mask uint64, now uint64) int {
+	n := 0
+	for cpu := 0; mask != 0; cpu++ {
+		bit := uint64(1) << cpu
+		if mask&bit != 0 {
+			mask &^= bit
+			mc.node.SendCtrl(&Msg{Kind: CmdInval, Src: mc.nodeID, Addr: blk}, cpu, now)
+			mc.st.InvalsSent++
+			n++
+		}
+	}
+	return n
+}
+
+func (mc *MemCtrl) handleRead(e *dirEntry, m *Msg, now uint64) {
+	mc.st.Reads++
+	blk := m.Addr
+	if mc.proto == WBMESI || mc.proto == MOESI {
+		switch {
+		case e.owner >= 0 && int(e.owner) != m.Src:
+			// Remote dirty (or exclusive) copy: fetch it first — the
+			// paper's 4-hop read (3 hops with cache-to-cache forwarding).
+			e.busy = true
+			e.kind = ReqRead
+			e.req = m
+			e.fetchTarget = e.owner
+			e.fetchPending = true
+			mc.st.FetchesSent++
+			mc.node.SendCtrl(&Msg{
+				Kind: CmdFetch, Src: mc.nodeID, Addr: blk,
+				HasFwd: mc.p.CacheToCache, Fwd: m.Src,
+			}, int(e.owner), now)
+			return
+		case e.owner == int16(m.Src):
+			// The owner itself re-reads after a silent clean eviction.
+			e.owner = -1
+		}
+		if e.sharers == 0 && e.owner < 0 {
+			// Illinois exclusivity on a clean private read.
+			e.owner = int16(m.Src)
+			mc.respondData(blk, m.Src, true, now)
+			return
+		}
+		mc.noteSharer(e, m.Src)
+		mc.respondData(blk, m.Src, false, now)
+		return
+	}
+	// WTI: memory is always current; just record the sharer.
+	mc.noteSharer(e, m.Src)
+	mc.respondData(blk, m.Src, false, now)
+}
+
+func (mc *MemCtrl) handleReadExcl(e *dirEntry, m *Msg, now uint64) {
+	mc.st.ReadExcls++
+	blk := m.Addr
+	switch {
+	case e.owner >= 0 && int(e.owner) != m.Src:
+		e.busy = true
+		e.kind = ReqReadExcl
+		e.req = m
+		e.fetchTarget = e.owner
+		e.fetchPending = true
+		mc.st.FetchesSent++
+		mc.node.SendCtrl(&Msg{
+			Kind: CmdFetchInval, Src: mc.nodeID, Addr: blk,
+			HasFwd: mc.p.CacheToCache, Fwd: m.Src,
+		}, int(e.owner), now)
+		// MOESI: an Owned block may also have Shared copies; they are
+		// invalidated in the same transaction.
+		if others := mc.invalTargets(e, m.Src) &^ (1 << uint(e.owner)); others != 0 {
+			e.waitAcks = mc.sendInvals(blk, others, now)
+		}
+		e.sharers = 0
+		e.bcast = false
+		return
+	case e.owner == int16(m.Src):
+		// Silent clean eviction by the owner itself.
+		mc.respondData(blk, m.Src, true, now)
+		return
+	}
+	others := mc.invalTargets(e, m.Src)
+	e.sharers = 0
+	e.bcast = false
+	if others != 0 {
+		e.busy = true
+		e.kind = ReqReadExcl
+		e.req = m
+		e.waitAcks = mc.sendInvals(blk, others, now)
+		return
+	}
+	e.owner = int16(m.Src)
+	mc.respondData(blk, m.Src, true, now)
+}
+
+func (mc *MemCtrl) handleUpgrade(e *dirEntry, m *Msg, now uint64) {
+	blk := m.Addr
+	if e.owner == int16(m.Src) {
+		// MOESI: the Owned holder wants exclusivity back — invalidate
+		// the Shared copies, no data needed.
+		mc.st.Upgrades++
+		others := mc.invalTargets(e, m.Src)
+		e.sharers = 0
+		e.bcast = false
+		if others != 0 {
+			e.busy = true
+			e.kind = ReqUpgrade
+			e.req = m
+			e.waitAcks = mc.sendInvals(blk, others, now)
+			return
+		}
+		mc.node.SendCtrl(&Msg{Kind: RspUpgradeAck, Src: mc.nodeID, Addr: blk}, m.Src, now+1)
+		return
+	}
+	if e.owner < 0 && e.sharers&(1<<m.Src) != 0 {
+		mc.st.Upgrades++
+		others := mc.invalTargets(e, m.Src)
+		e.sharers = 0
+		e.bcast = false
+		if others != 0 {
+			e.busy = true
+			e.kind = ReqUpgrade
+			e.req = m
+			e.waitAcks = mc.sendInvals(blk, others, now)
+			return
+		}
+		e.owner = int16(m.Src)
+		mc.node.SendCtrl(&Msg{Kind: RspUpgradeAck, Src: mc.nodeID, Addr: blk}, m.Src, now+1)
+		return
+	}
+	// The requester lost its copy to an earlier-serialized writer; the
+	// upgrade is promoted to a full exclusive read.
+	mc.handleReadExcl(e, m, now)
+}
+
+func (mc *MemCtrl) handleWriteThrough(e *dirEntry, m *Msg, now uint64) {
+	mc.st.WriteThroughs++
+	mc.accessLatency(m.Addr) // writes move the open row; acks stay posted
+	mc.space.WriteMasked(m.Addr, m.Word, m.ByteEn)
+	blk := mc.p.BlockAddr(m.Addr)
+	// WTU updates every sharer, the writer included: all copies must
+	// observe the bank's serialization order. WTI invalidates the
+	// other copies; the writer's own copy was updated at store time
+	// and stays valid. A broadcast-mode entry targets every cache.
+	targets := mc.invalTargets(e, m.Src)
+	if mc.proto == WTU {
+		targets |= e.sharers & (1 << m.Src)
+	} else {
+		e.sharers &= 1 << m.Src
+		e.bcast = false
+	}
+	if targets == 0 {
+		// The paper's 2-hop write.
+		mc.node.SendCtrl(&Msg{Kind: RspWriteAck, Src: mc.nodeID, Addr: m.Addr}, m.Src, now+1)
+		return
+	}
+	// The 4-hop write: invalidate (WTI) or update (WTU) the copies,
+	// acknowledging the writer once their acks are in.
+	e.busy = true
+	e.kind = ReqWriteThrough
+	e.req = m
+	if mc.proto == WTU {
+		e.waitAcks = mc.sendUpdates(blk, targets, m, now)
+	} else {
+		e.waitAcks = mc.sendInvals(blk, targets, now)
+	}
+}
+
+// sendUpdates issues CmdUpdate carrying the written word to every
+// cache in the mask and returns the count.
+func (mc *MemCtrl) sendUpdates(blk uint32, mask uint64, w *Msg, now uint64) int {
+	n := 0
+	for cpu := 0; mask != 0; cpu++ {
+		bit := uint64(1) << cpu
+		if mask&bit != 0 {
+			mask &^= bit
+			mc.node.SendCtrl(&Msg{
+				Kind: CmdUpdate, Src: mc.nodeID, Addr: w.Addr, Word: w.Word, ByteEn: w.ByteEn,
+			}, cpu, now)
+			mc.st.UpdatesSent++
+			n++
+		}
+	}
+	return n
+}
+
+func (mc *MemCtrl) handleSwap(e *dirEntry, m *Msg, now uint64) {
+	mc.st.Swaps++
+	swapLat := mc.accessLatency(m.Addr)
+	old := mc.space.ReadWord(m.Addr)
+	mc.space.WriteWord(m.Addr, m.Word)
+	blk := mc.p.BlockAddr(m.Addr)
+	others := mc.invalTargets(e, m.Src) // the requester self-invalidated
+	if mc.proto == WTU {
+		e.sharers &^= 1 << m.Src // other copies survive, updated in place
+	} else {
+		e.sharers = 0
+		e.bcast = false
+	}
+	if others == 0 {
+		mc.node.SendCtrl(&Msg{Kind: RspSwap, Src: mc.nodeID, Addr: m.Addr, Word: old},
+			m.Src, now+swapLat)
+		return
+	}
+	e.busy = true
+	e.kind = ReqSwap
+	e.req = m
+	e.oldWord = old
+	if mc.proto == WTU {
+		e.waitAcks = mc.sendUpdates(blk, others, &Msg{Addr: m.Addr, Word: m.Word, ByteEn: 0xf}, now)
+	} else {
+		e.waitAcks = mc.sendInvals(blk, others, now)
+	}
+}
+
+func (mc *MemCtrl) handleInvAck(m *Msg, now uint64) {
+	blk := mc.p.BlockAddr(m.Addr)
+	e := mc.dir[blk]
+	if e == nil || !e.busy || e.waitAcks <= 0 {
+		panic(fmt.Sprintf("coherence: bank %d: stray inv ack %v", mc.bank, m))
+	}
+	e.waitAcks--
+	mc.maybeComplete(e, blk, now)
+}
+
+func (mc *MemCtrl) handleC2CDone(m *Msg, now uint64) {
+	blk := mc.p.BlockAddr(m.Addr)
+	e := mc.dir[blk]
+	if e == nil || !e.busy {
+		panic(fmt.Sprintf("coherence: bank %d: stray c2c done %v", mc.bank, m))
+	}
+	e.c2cDone = true
+	mc.maybeComplete(e, blk, now)
+}
+
+func (mc *MemCtrl) handleFetchRsp(m *Msg, now uint64) {
+	blk := m.Addr
+	e := mc.dir[blk]
+	if e == nil || !e.busy || !e.fetchPending || e.fetchTarget < 0 || int(e.fetchTarget) != m.Src {
+		panic(fmt.Sprintf("coherence: bank %d: stray fetch response %v", mc.bank, m))
+	}
+	if !m.NoData {
+		mc.space.WriteBlock(blk, m.Data)
+	}
+	e.fetchSeen = true
+	e.fetchFwd = m.Forwarded
+	e.fetchHadData = !m.NoData
+	e.retainOwner = m.RetainOwner
+	mc.maybeComplete(e, blk, now)
+}
+
+// fetchDone reports whether the transaction's fetch leg (if any) has
+// fully landed: the owner answered, and a forwarded transfer was
+// confirmed received by the requester (so a later invalidation can
+// never overtake the forwarded data).
+func (e *dirEntry) fetchDone() bool {
+	if !e.fetchPending {
+		return true
+	}
+	return e.fetchSeen && (!e.fetchFwd || e.c2cDone)
+}
+
+// maybeComplete closes the transaction once every awaited message is
+// in, applying the directory updates and sending the response.
+func (mc *MemCtrl) maybeComplete(e *dirEntry, blk uint32, now uint64) {
+	if e.waitAcks > 0 || !e.fetchDone() {
+		return
+	}
+	req := e.req
+	switch e.kind {
+	case ReqWriteThrough:
+		mc.node.SendCtrl(&Msg{Kind: RspWriteAck, Src: mc.nodeID, Addr: req.Addr}, req.Src, now+1)
+	case ReqSwap:
+		mc.node.SendCtrl(&Msg{Kind: RspSwap, Src: mc.nodeID, Addr: req.Addr, Word: e.oldWord}, req.Src, now+1)
+	case ReqRead:
+		if e.retainOwner {
+			// MOESI: the previous owner keeps the block Owned (dirty,
+			// memory stays stale) and supplied the requester directly.
+			if !e.fetchFwd {
+				panic(fmt.Sprintf("coherence: bank %d: owner retained without forwarding", mc.bank))
+			}
+			mc.noteSharer(e, req.Src)
+			break
+		}
+		old := int(e.fetchTarget)
+		e.owner = -1
+		if e.fetchHadData || e.fetchFwd {
+			// The previous owner keeps a Shared copy only if it still
+			// had the block to answer with.
+			mc.noteSharer(e, old)
+		}
+		switch {
+		case e.fetchFwd:
+			// Cache-to-cache: the requester already has the data.
+			mc.noteSharer(e, req.Src)
+		case e.sharers == 0:
+			e.owner = int16(req.Src)
+			mc.respondData(blk, req.Src, true, now)
+		default:
+			mc.noteSharer(e, req.Src)
+			mc.respondData(blk, req.Src, false, now)
+		}
+	case ReqReadExcl:
+		e.owner = int16(req.Src)
+		e.sharers = 0
+		e.bcast = false
+		if !e.fetchFwd {
+			mc.respondData(blk, req.Src, true, now)
+		}
+	case ReqUpgrade:
+		e.owner = int16(req.Src)
+		e.sharers = 0
+		e.bcast = false
+		mc.node.SendCtrl(&Msg{Kind: RspUpgradeAck, Src: mc.nodeID, Addr: blk}, req.Src, now+1)
+	default:
+		panic(fmt.Sprintf("coherence: bank %d: completion of unexpected %v transaction", mc.bank, e.kind))
+	}
+	mc.finish(e, now)
+}
+
+// finish closes the block's transaction and replays deferred requests
+// until one of them re-blocks the entry (or none remain).
+func (mc *MemCtrl) finish(e *dirEntry, now uint64) {
+	e.busy = false
+	e.req = nil
+	e.kind = MsgInvalid
+	e.fetchTarget = -1
+	e.fetchPending = false
+	e.fetchSeen = false
+	e.fetchFwd = false
+	e.fetchHadData = false
+	e.retainOwner = false
+	e.c2cDone = false
+	for !e.busy && len(e.deferred) > 0 {
+		m := e.deferred[0]
+		copy(e.deferred, e.deferred[1:])
+		e.deferred = e.deferred[:len(e.deferred)-1]
+		mc.process(m, now)
+	}
+}
+
+// Drained reports whether no transaction is in flight at this bank.
+func (mc *MemCtrl) Drained() bool {
+	for _, e := range mc.dir {
+		if e.busy || len(e.deferred) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DirSnapshot exposes directory state for the invariant checker:
+// sharer bitmap and owner for the block.
+func (mc *MemCtrl) DirSnapshot(blk uint32) (sharers uint64, owner int) {
+	e := mc.dir[blk]
+	if e == nil {
+		return 0, -1
+	}
+	return e.sharers, int(e.owner)
+}

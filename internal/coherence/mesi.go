@@ -1,0 +1,386 @@
+package coherence
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// MESICache is the write-back MESI (Illinois-like) data-cache
+// controller the paper compares against. Stores require exclusivity:
+// a Shared write hit sends a blocking ReqUpgrade, a write miss a
+// blocking ReqReadExcl (write-allocate, up to the paper's 6-hop
+// scenario when the directory must fetch a remote dirty copy and the
+// victim is dirty). Dirty victims move to a one-entry eviction buffer
+// whose writeback proceeds in the background (the "+2 n.b." of
+// Table 1).
+type MESICache struct {
+	id       int
+	moesi    bool
+	p        Params
+	arr      *cacheArray
+	node     *Node
+	amap     *mem.AddrMap
+	bankBase int
+
+	pend  mesiPending
+	evict mesiEvict
+	st    DCacheStats
+}
+
+type mesiPending struct {
+	active bool
+	issued bool
+	kind   MsgKind // ReqRead, ReqReadExcl or ReqUpgrade
+	blk    uint32  // block address
+
+	// Deferred write to apply when exclusivity arrives.
+	apply   bool
+	isSwap  bool
+	waddr   uint32
+	word    uint32
+	byteEn  uint8
+	swapOld uint32
+	done    bool // store/swap completed; the retry returns success
+}
+
+type mesiEvict struct {
+	active bool
+	addr   uint32
+	data   []byte
+}
+
+// NewMESICache builds the write-back MESI controller for CPU id.
+func NewMESICache(id int, p Params, node *Node, amap *mem.AddrMap, bankBase int) *MESICache {
+	return &MESICache{
+		id:       id,
+		p:        p,
+		arr:      newCacheArray(p.DCacheBytes, p.BlockBytes, p.Ways),
+		node:     node,
+		amap:     amap,
+		bankBase: bankBase,
+	}
+}
+
+// NewMOESICache builds the MOESI controller (extension): like MESI,
+// but a fetched dirty block stays with its owner in Owned state and is
+// supplied cache-to-cache without refreshing memory. It requires
+// Params.CacheToCache.
+func NewMOESICache(id int, p Params, node *Node, amap *mem.AddrMap, bankBase int) *MESICache {
+	if !p.CacheToCache {
+		panic("coherence: MOESI requires Params.CacheToCache")
+	}
+	c := NewMESICache(id, p, node, amap, bankBase)
+	c.moesi = true
+	return c
+}
+
+// Protocol implements DataCache.
+func (c *MESICache) Protocol() Protocol {
+	if c.moesi {
+		return MOESI
+	}
+	return WBMESI
+}
+
+// Stats implements DataCache.
+func (c *MESICache) Stats() *DCacheStats { return &c.st }
+
+func (c *MESICache) bankNode(addr uint32) int {
+	return c.bankBase + c.amap.BankOf(addr)
+}
+
+// startMiss prepares an allocation for addr: dirty victims move to the
+// eviction buffer (stalling when it is occupied) and the request is
+// recorded. It reports whether the miss could start.
+func (c *MESICache) startMiss(now uint64, kind MsgKind, blk uint32) bool {
+	line := c.arr.victim(blk)
+	if c.arr.state[line].Dirty() {
+		if c.evict.active {
+			return false // eviction buffer busy: stall
+		}
+		victim := c.arr.blockAddr(line)
+		data := make([]byte, c.p.BlockBytes)
+		copy(data, c.arr.lineData(line))
+		c.evict = mesiEvict{active: true, addr: victim, data: data}
+		c.arr.state[line] = Invalid
+		c.st.Writebacks++
+		// Writebacks are control-class: they must keep their place in
+		// the node's FIFO ahead of any later no-data fetch response.
+		c.node.SendCtrl(&Msg{Kind: ReqWriteBack, Src: c.id, Addr: victim, Data: data},
+			c.bankNode(victim), now)
+	}
+	c.pend = mesiPending{active: true, kind: kind, blk: blk}
+	c.tryIssue(now)
+	return true
+}
+
+func (c *MESICache) tryIssue(now uint64) {
+	if !c.pend.active || c.pend.issued {
+		return
+	}
+	m := &Msg{Kind: c.pend.kind, Src: c.id, Addr: c.pend.blk}
+	if c.node.TrySendReq(m, c.bankNode(c.pend.blk), now) {
+		c.pend.issued = true
+	}
+}
+
+// Load implements DataCache.
+func (c *MESICache) Load(now uint64, addr uint32, byteEn uint8) (uint32, bool) {
+	if c.pend.active {
+		return 0, false
+	}
+	waddr := WordAddr(addr)
+	if set, hit := c.arr.lookup(addr); hit {
+		c.st.Loads++
+		c.st.LoadHits++
+		return c.arr.readWord(set, waddr), true
+	}
+	blk := c.p.BlockAddr(addr)
+	if c.arr.state[c.arr.victim(blk)].Dirty() && c.evict.active {
+		return 0, false // stall until the eviction buffer frees
+	}
+	c.st.Loads++
+	c.st.LoadMisses++
+	c.startMiss(now, ReqRead, blk)
+	return 0, false
+}
+
+// Store implements DataCache.
+func (c *MESICache) Store(now uint64, addr uint32, word uint32, byteEn uint8) bool {
+	if c.pend.active {
+		if c.pend.done {
+			c.pend = mesiPending{}
+			return true
+		}
+		return false
+	}
+	waddr := WordAddr(addr)
+	if set, hit := c.arr.lookup(addr); hit {
+		switch c.arr.state[set] {
+		case Modified:
+			c.st.Stores++
+			c.st.StoreHits++
+			c.arr.writeWord(set, waddr, word, byteEn)
+			return true
+		case Exclusive:
+			c.st.Stores++
+			c.st.StoreHits++
+			c.arr.state[set] = Modified
+			c.arr.writeWord(set, waddr, word, byteEn)
+			return true
+		case Shared, Owned:
+			c.st.Stores++
+			c.st.StoreHits++
+			c.st.Upgrades++
+			c.pend = mesiPending{
+				active: true, kind: ReqUpgrade, blk: c.p.BlockAddr(addr),
+				apply: true, waddr: waddr, word: word, byteEn: byteEn,
+			}
+			c.tryIssue(now)
+			return false
+		}
+	}
+	// Write miss: write-allocate with exclusive intent.
+	blk := c.p.BlockAddr(addr)
+	if c.arr.state[c.arr.victim(blk)].Dirty() && c.evict.active {
+		return false // stall until the eviction buffer frees
+	}
+	c.st.Stores++
+	c.st.StoreMisses++
+	c.startMiss(now, ReqReadExcl, blk)
+	c.pend.apply = true
+	c.pend.waddr = waddr
+	c.pend.word = word
+	c.pend.byteEn = byteEn
+	return false
+}
+
+// Swap implements DataCache: obtain exclusivity, then perform the
+// read-modify-write locally.
+func (c *MESICache) Swap(now uint64, addr uint32, newWord uint32) (uint32, bool) {
+	if c.pend.active {
+		if c.pend.done {
+			old := c.pend.swapOld
+			c.pend = mesiPending{}
+			return old, true
+		}
+		return 0, false
+	}
+	waddr := WordAddr(addr)
+	if set, hit := c.arr.lookup(addr); hit {
+		switch c.arr.state[set] {
+		case Modified, Exclusive:
+			c.st.Swaps++
+			old := c.arr.readWord(set, waddr)
+			c.arr.writeWord(set, waddr, newWord, 0xf)
+			c.arr.state[set] = Modified
+			return old, true
+		case Shared, Owned:
+			c.st.Swaps++
+			c.st.Upgrades++
+			c.pend = mesiPending{
+				active: true, kind: ReqUpgrade, blk: c.p.BlockAddr(addr),
+				apply: true, isSwap: true, waddr: waddr, word: newWord, byteEn: 0xf,
+			}
+			c.tryIssue(now)
+			return 0, false
+		}
+	}
+	blk := c.p.BlockAddr(addr)
+	if c.arr.state[c.arr.victim(blk)].Dirty() && c.evict.active {
+		return 0, false
+	}
+	c.st.Swaps++
+	c.startMiss(now, ReqReadExcl, blk)
+	c.pend.apply = true
+	c.pend.isSwap = true
+	c.pend.waddr = waddr
+	c.pend.word = newWord
+	c.pend.byteEn = 0xf
+	return 0, false
+}
+
+// Tick implements DataCache.
+func (c *MESICache) Tick(now uint64) { c.tryIssue(now) }
+
+// completeWrite applies the deferred store/swap to the (now exclusive)
+// line and marks the transaction done.
+func (c *MESICache) completeWrite(set int) {
+	if c.pend.isSwap {
+		c.pend.swapOld = c.arr.readWord(set, c.pend.waddr)
+	}
+	c.arr.writeWord(set, c.pend.waddr, c.pend.word, c.pend.byteEn)
+	c.arr.state[set] = Modified
+	c.pend.done = true
+}
+
+// HandleMsg implements DataCache.
+func (c *MESICache) HandleMsg(m *Msg, now uint64) {
+	switch m.Kind {
+	case RspData:
+		if !c.pend.active || c.pend.blk != m.Addr {
+			panic(fmt.Sprintf("coherence: MESI cache %d: unexpected %v", c.id, m))
+		}
+		if m.Forwarded {
+			// Cache-to-cache delivery: tell the directory the transfer
+			// landed so it can close the transaction (a racing
+			// invalidation must not overtake this data).
+			c.node.SendCtrl(&Msg{Kind: RspC2CDone, Src: c.id, Addr: m.Addr},
+				c.bankNode(m.Addr), now)
+		}
+		st := Shared
+		if m.Excl {
+			st = Exclusive
+		}
+		set := c.arr.fill(m.Addr, st, m.Data)
+		if c.pend.apply {
+			if !m.Excl {
+				panic(fmt.Sprintf("coherence: MESI cache %d: write allocation granted without exclusivity", c.id))
+			}
+			c.completeWrite(set)
+		} else {
+			c.pend = mesiPending{}
+		}
+	case RspUpgradeAck:
+		if !c.pend.active || c.pend.kind != ReqUpgrade || c.pend.blk != m.Addr {
+			panic(fmt.Sprintf("coherence: MESI cache %d: unexpected %v", c.id, m))
+		}
+		set, hit := c.arr.lookup(m.Addr)
+		if !hit {
+			// The ack is only sent when we were still a sharer at the
+			// directory's serialization point, and any invalidation is
+			// ordered after it on the same channel.
+			panic(fmt.Sprintf("coherence: MESI cache %d: upgrade ack for lost line %#x", c.id, m.Addr))
+		}
+		c.completeWrite(set)
+	case RspWriteAck:
+		if !c.evict.active || c.evict.addr != m.Addr {
+			panic(fmt.Sprintf("coherence: MESI cache %d: stray writeback ack %v", c.id, m))
+		}
+		c.evict = mesiEvict{}
+	case CmdInval:
+		c.st.InvalsReceived++
+		if c.arr.invalidate(m.Addr) {
+			c.st.CopiesDropped++
+		}
+		c.node.SendCtrl(&Msg{Kind: RspInvAck, Src: c.id, Addr: m.Addr}, c.bankNode(m.Addr), now)
+	case CmdFetch, CmdFetchInval:
+		c.st.FetchesServed++
+		rsp := &Msg{Kind: RspFetch, Src: c.id, Addr: m.Addr}
+		if set, hit := c.arr.lookup(m.Addr); hit && c.arr.state[set] >= Owned {
+			data := make([]byte, c.p.BlockBytes)
+			copy(data, c.arr.lineData(set))
+			// MOESI: a dirty block fetched for reading stays here in
+			// Owned state; memory is not refreshed and this cache keeps
+			// supplying the data.
+			retain := c.moesi && m.Kind == CmdFetch && c.arr.state[set].Dirty()
+			if m.HasFwd {
+				// Cache-to-cache transfer: data goes straight to the
+				// requester. For an exclusive transfer (and for an
+				// Owned retention) the memory copy is skipped; a MESI
+				// shared downgrade must still refresh memory so all
+				// clean copies agree with it.
+				c.st.C2CTransfers++
+				c.node.SendCtrl(&Msg{
+					Kind: RspData, Src: c.id, Addr: m.Addr, Data: data,
+					Excl: m.Kind == CmdFetchInval, Forwarded: true,
+				}, m.Fwd, now)
+				rsp.Forwarded = true
+				if m.Kind == CmdFetch && !retain {
+					rsp.Data = data
+				} else {
+					rsp.NoData = true
+				}
+			} else {
+				rsp.Data = data
+			}
+			rsp.RetainOwner = retain
+			switch {
+			case retain:
+				c.arr.state[set] = Owned
+			case m.Kind == CmdFetch:
+				c.arr.state[set] = Shared
+			default:
+				c.arr.state[set] = Invalid
+			}
+		} else {
+			// Silently evicted (clean) or written back (dirty, with the
+			// writeback ordered ahead of this response): memory is or
+			// will be current before this answer arrives.
+			rsp.NoData = true
+			if hit && m.Kind == CmdFetchInval {
+				c.arr.state[set] = Invalid
+			}
+		}
+		c.node.SendCtrl(rsp, c.bankNode(m.Addr), now)
+	default:
+		panic(fmt.Sprintf("coherence: MESI cache %d: unhandled %v", c.id, m))
+	}
+}
+
+// Drained implements DataCache.
+func (c *MESICache) Drained() bool { return !c.pend.active && !c.evict.active }
+
+// PeekLine exposes line state for the invariant checker and tests.
+func (c *MESICache) PeekLine(addr uint32) (LineState, []byte) {
+	if line, hit := c.arr.probe(addr); hit {
+		return c.arr.state[line], c.arr.lineData(line)
+	}
+	return Invalid, nil
+}
+
+// FlushDirtyInto copies every Modified block into the space; tests use
+// it to compare final memory against a reference model at end of run.
+func (c *MESICache) FlushDirtyInto(s *mem.Space) {
+	for line := 0; line < c.arr.numSets*c.arr.ways; line++ {
+		if c.arr.state[line].Dirty() {
+			addr := c.arr.blockAddr(line)
+			d := c.arr.lineData(line)
+			for off := 0; off < len(d); off += 4 {
+				s.WriteWord(addr+uint32(off), binary.LittleEndian.Uint32(d[off:off+4]))
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package coherence
+
+import (
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Sink consumes messages delivered to a node. The bank controller uses
+// Accept to model its service rate; cache-side sinks always accept.
+type Sink interface {
+	// Accept reports whether the sink can take one more message now.
+	Accept(now uint64) bool
+	// HandleMsg processes a delivered message.
+	HandleMsg(m *Msg, now uint64)
+}
+
+type outMsg struct {
+	dst int
+	msg *Msg
+}
+
+// Node is one NoC endpoint: the single network port shared by a CPU's
+// instruction and data caches (the paper: "the instruction and data
+// cache use the same interconnect port in order to minimize the NoC
+// area"), or a memory bank's port.
+//
+// Outgoing messages flow through one FIFO so a node's messages keep
+// their program order on the wire; see the package documentation for
+// why the protocols need this. Control-class messages (responses,
+// acknowledgements) may always be enqueued — they are what unblocks the
+// rest of the system — while request-class messages are admitted only
+// below ReqBound, which is how NoC backpressure reaches the write
+// buffer and the miss handlers.
+type Node struct {
+	ID   int
+	net  noc.Network
+	sink Sink
+	outQ *sim.Port[outMsg]
+
+	// ReqBound is the admission bound for request-class messages.
+	ReqBound int
+
+	// Trace, when non-nil, observes every message this node receives
+	// ("rx") and injects ("tx") — the protocol event log.
+	Trace func(now uint64, dir string, self, peer int, m *Msg)
+
+	// Stats.
+	SendStallCycles uint64
+	MsgsSent        uint64
+	MsgsReceived    uint64
+}
+
+// NewNode attaches a node to the network.
+func NewNode(id int, net noc.Network, sink Sink) *Node {
+	return &Node{ID: id, net: net, sink: sink, outQ: sim.NewPort[outMsg](0), ReqBound: 4}
+}
+
+// SendCtrl enqueues a control-class message (always admitted) for dst,
+// not injectable before cycle notBefore.
+func (n *Node) SendCtrl(m *Msg, dst int, notBefore uint64) {
+	n.outQ.Send(outMsg{dst: dst, msg: m}, notBefore)
+}
+
+// TrySendReq enqueues a request-class message if the outbound queue is
+// below the admission bound, reporting whether it was admitted.
+func (n *Node) TrySendReq(m *Msg, dst int, notBefore uint64) bool {
+	if n.outQ.Len() >= n.ReqBound {
+		n.SendStallCycles++
+		return false
+	}
+	n.outQ.Send(outMsg{dst: dst, msg: m}, notBefore)
+	return true
+}
+
+// OutQueueLen reports the pending outbound messages (diagnostics).
+func (n *Node) OutQueueLen() int { return n.outQ.Len() }
+
+// Tick delivers arrived messages to the sink and drains the outbound
+// queue into the network.
+func (n *Node) Tick(now uint64) {
+	// Receive.
+	for n.sink.Accept(now) {
+		m, ok := n.net.Deliver(n.ID, now)
+		if !ok {
+			break
+		}
+		n.MsgsReceived++
+		msg := m.Payload.(*Msg)
+		if n.Trace != nil {
+			n.Trace(now, "rx", n.ID, m.Src, msg)
+		}
+		n.sink.HandleMsg(msg, now)
+	}
+	// Send, preserving FIFO order (the port enforces it even when a
+	// later message has an earlier not-before cycle).
+	for {
+		head, ok := n.outQ.Peek(now)
+		if !ok {
+			break
+		}
+		pkt := noc.Packet{Src: n.ID, Dst: head.dst, Bytes: head.msg.WireBytes(), Payload: head.msg}
+		if !n.net.Inject(pkt, now) {
+			break
+		}
+		if n.Trace != nil {
+			n.Trace(now, "tx", n.ID, head.dst, head.msg)
+		}
+		n.MsgsSent++
+		n.outQ.Recv(now)
+	}
+}
+
+// Idle reports whether the node has nothing left to send.
+func (n *Node) Idle() bool { return n.outQ.Empty() }

@@ -1,0 +1,138 @@
+package coherence
+
+import "fmt"
+
+// Protocol selects the memory write policy under study.
+type Protocol int
+
+// The two compared protocols.
+const (
+	// WTI is write-through invalidate: write-no-allocate caches with
+	// Valid/Invalid lines, every store forwarded to memory through the
+	// write buffer, other copies invalidated by the directory.
+	WTI Protocol = iota
+	// WBMESI is write-back MESI (Illinois-like): dirty blocks live in
+	// caches, stores require exclusivity obtained from the directory.
+	WBMESI
+	// MOESI extends WB-MESI with the Owned state: a dirty block can be
+	// shared, with its owner — not memory — supplying the data, so
+	// dirty read-sharing never writes memory back. It requires the
+	// cache-to-cache transfer path (the owner must be able to send the
+	// block straight to the requester) and is provided as an extension
+	// beyond the paper's two policies.
+	MOESI
+	// WTU is write-through update: like WTI, every store is forwarded
+	// to memory, but instead of invalidating the other cached copies
+	// the directory sends them the written word. Copies stay readable
+	// at the price of update traffic to every (possibly stale-listed)
+	// sharer — the other hardware-protocol category the paper cites
+	// (Stenström's write-update class). Provided as an extension for
+	// the three-way ablation.
+	WTU
+)
+
+// String implements fmt.Stringer using the paper's labels.
+func (p Protocol) String() string {
+	switch p {
+	case WTI:
+		return "WTI"
+	case WBMESI:
+		return "WB"
+	case WTU:
+		return "WTU"
+	case MOESI:
+		return "MOESI"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Params collects the memory-hierarchy parameters shared by every
+// controller. Defaults mirror the paper's Table 2.
+type Params struct {
+	NumCPUs int
+	// BlockBytes is the cache block size (Table 2: 32 bytes).
+	BlockBytes int
+	// DCacheBytes / ICacheBytes are the cache sizes (Table 2: 4 KiB each).
+	DCacheBytes int
+	ICacheBytes int
+	// Ways is the cache associativity (Table 2: direct-mapped = 1).
+	Ways int
+	// WriteBufferWords is the WTI write-buffer depth (Table 2: 8 words).
+	WriteBufferWords int
+	// MemLatency is the bank storage access time in cycles, added to
+	// every data-bearing bank response.
+	MemLatency int
+	// MemService is the bank occupancy per handled request, bounding
+	// the bank to one request per MemService cycles.
+	MemService int
+	// StrictSC makes WTI stores block until acknowledged, restoring
+	// textbook sequential consistency (ablation B); the paper's
+	// configuration is the non-blocking write buffer (false).
+	StrictSC bool
+	// RowBytes enables an open-page DRAM row-buffer model at the
+	// banks: accesses within the currently open row pay MemLatency,
+	// a row change pays 3×MemLatency (precharge + activate + access).
+	// 0 (default) keeps the paper's flat bank latency.
+	RowBytes int
+	// DirPointers selects the directory organization: 0 (default) is
+	// the paper's Censier–Feautrier full map (one presence bit per
+	// cache — the "area overhead [that] does not scale well" the paper
+	// notes); k > 0 models a limited-pointer Dir_k_B directory (the
+	// class of "more efficient solutions" the paper says its study can
+	// be adapted to): each block tracks at most k precise sharers and
+	// falls back to broadcast invalidation/update once more caches
+	// share it.
+	DirPointers int
+	// CacheToCache enables the MESI optimization the paper suggests:
+	// an owner asked to surrender a block sends the data directly to
+	// the requester (3-hop critical path) instead of bouncing it
+	// through the memory node (4 hops); dirty exclusive transfers skip
+	// the memory update entirely. Off by default, as in the paper's
+	// deliberately symmetric implementations.
+	CacheToCache bool
+}
+
+// DefaultParams returns the paper's Table 2 memory parameters for n CPUs.
+func DefaultParams(n int) Params {
+	return Params{
+		NumCPUs:          n,
+		BlockBytes:       32,
+		DCacheBytes:      4096,
+		ICacheBytes:      4096,
+		Ways:             1,
+		WriteBufferWords: 8,
+		MemLatency:       6,
+		MemService:       2,
+	}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	switch {
+	case p.NumCPUs < 1 || p.NumCPUs > 64:
+		return fmt.Errorf("coherence: NumCPUs %d outside 1..64 (the full-map directory uses a 64-bit sharer set)", p.NumCPUs)
+	case p.BlockBytes < 4 || p.BlockBytes&(p.BlockBytes-1) != 0:
+		return fmt.Errorf("coherence: BlockBytes %d must be a power of two >= 4", p.BlockBytes)
+	case p.DCacheBytes < p.BlockBytes || p.DCacheBytes%p.BlockBytes != 0:
+		return fmt.Errorf("coherence: DCacheBytes %d must be a multiple of the block size", p.DCacheBytes)
+	case p.ICacheBytes < p.BlockBytes || p.ICacheBytes%p.BlockBytes != 0:
+		return fmt.Errorf("coherence: ICacheBytes %d must be a multiple of the block size", p.ICacheBytes)
+	case p.Ways < 1 || (p.DCacheBytes/p.BlockBytes)%p.Ways != 0 || (p.ICacheBytes/p.BlockBytes)%p.Ways != 0:
+		return fmt.Errorf("coherence: Ways %d must divide the line counts", p.Ways)
+	case p.WriteBufferWords < 1:
+		return fmt.Errorf("coherence: WriteBufferWords must be positive")
+	case p.MemLatency < 0 || p.MemService < 1:
+		return fmt.Errorf("coherence: bank timing must be non-negative (latency) and positive (service)")
+	case p.DirPointers < 0 || p.DirPointers > p.NumCPUs:
+		return fmt.Errorf("coherence: DirPointers %d outside 0..NumCPUs", p.DirPointers)
+	case p.RowBytes != 0 && (p.RowBytes < p.BlockBytes || p.RowBytes&(p.RowBytes-1) != 0):
+		return fmt.Errorf("coherence: RowBytes must be 0 or a power of two >= the block size")
+	}
+	return nil
+}
+
+// BlockAddr returns the block-aligned address containing addr.
+func (p Params) BlockAddr(addr uint32) uint32 {
+	return addr &^ uint32(p.BlockBytes-1)
+}

@@ -1,0 +1,174 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteBufferFIFOAndOneInFlight(t *testing.T) {
+	w := newWriteBuffer(4)
+	w.Push(0x100, 1, 0xf)
+	w.Push(0x104, 2, 0xf)
+	e, ok := w.NextToSend()
+	if !ok || e.addr != 0x100 {
+		t.Fatalf("NextToSend = %+v, %v", e, ok)
+	}
+	e.sent = true
+	if _, ok := w.NextToSend(); ok {
+		t.Fatal("second write eligible while the first is in flight")
+	}
+	if !w.Ack(0x100) {
+		t.Fatal("ack rejected")
+	}
+	e, ok = w.NextToSend()
+	if !ok || e.addr != 0x104 {
+		t.Fatalf("after ack NextToSend = %+v, %v", e, ok)
+	}
+}
+
+func TestWriteBufferAckValidation(t *testing.T) {
+	w := newWriteBuffer(4)
+	w.Push(0x100, 1, 0xf)
+	if w.Ack(0x100) {
+		t.Fatal("ack accepted for an unsent entry")
+	}
+	e, _ := w.NextToSend()
+	e.sent = true
+	if w.Ack(0x200) {
+		t.Fatal("ack accepted for the wrong address")
+	}
+}
+
+func TestWriteBufferCoalescing(t *testing.T) {
+	w := newWriteBuffer(2)
+	w.Push(0x100, 0x000000aa, 0b0001)
+	w.Push(0x100, 0x0000bb00, 0b0010) // same word: coalesce
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d, want coalesced 1", w.Len())
+	}
+	v, ok, _ := w.Forward(0x100, 0b0011)
+	if !ok || v&0xffff != 0xbbaa {
+		t.Fatalf("Forward = %#x, %v", v, ok)
+	}
+	// A different word must not coalesce.
+	w.Push(0x104, 1, 0xf)
+	if w.Len() != 2 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	// Coalescing with a non-newest entry would reorder: not allowed.
+	w.Push(0x100, 0xcc, 0xf)
+	if w.Len() != 2 && !w.Full() {
+		t.Fatalf("old-entry coalesce created odd state: len=%d", w.Len())
+	}
+}
+
+func TestWriteBufferCapacity(t *testing.T) {
+	w := newWriteBuffer(2)
+	if !w.Push(0x100, 1, 0xf) || !w.Push(0x104, 2, 0xf) {
+		t.Fatal("pushes within capacity failed")
+	}
+	if w.Push(0x108, 3, 0xf) {
+		t.Fatal("push above capacity accepted")
+	}
+	if w.FullStalls != 1 {
+		t.Fatalf("FullStalls = %d", w.FullStalls)
+	}
+}
+
+func TestWriteBufferForwarding(t *testing.T) {
+	w := newWriteBuffer(8)
+	w.Push(0x100, 0x11223344, 0xf)
+	v, ok, conflict := w.Forward(0x100, 0xf)
+	if !ok || conflict || v != 0x11223344 {
+		t.Fatalf("full forward = %#x %v %v", v, ok, conflict)
+	}
+	// Partial coverage is a conflict, not a forward.
+	w2 := newWriteBuffer(8)
+	w2.Push(0x200, 0xaa, 0b0001)
+	if _, ok, conflict := w2.Forward(0x200, 0xf); ok || !conflict {
+		t.Fatal("partial overlap must report a conflict")
+	}
+	// Disjoint bytes: no forward, no conflict.
+	if _, ok, conflict := w2.Forward(0x200, 0b0100); ok || conflict {
+		t.Fatal("disjoint bytes must be a clean miss")
+	}
+	// Unrelated address: nothing.
+	if _, ok, conflict := w2.Forward(0x300, 0xf); ok || conflict {
+		t.Fatal("unrelated address must be a clean miss")
+	}
+}
+
+func TestWriteBufferNewestWins(t *testing.T) {
+	w := newWriteBuffer(8)
+	w.Push(0x100, 1, 0xf)
+	e, _ := w.NextToSend()
+	e.sent = true // freeze the first entry so the second doesn't coalesce
+	w.Push(0x100, 2, 0xf)
+	v, ok, _ := w.Forward(0x100, 0xf)
+	if !ok || v != 2 {
+		t.Fatalf("Forward returned %d, want the newest value 2", v)
+	}
+}
+
+func TestWriteBufferHasUnsentInBlock(t *testing.T) {
+	w := newWriteBuffer(8)
+	w.Push(0x104, 1, 0xf)
+	if !w.HasUnsentInBlock(0x100, 32) {
+		t.Fatal("unsent entry in block not found")
+	}
+	if w.HasUnsentInBlock(0x120, 32) {
+		t.Fatal("wrong block matched")
+	}
+	e, _ := w.NextToSend()
+	e.sent = true
+	if w.HasUnsentInBlock(0x100, 32) {
+		t.Fatal("sent entry still reported as unsent")
+	}
+}
+
+func TestWriteBufferProperty(t *testing.T) {
+	// Pushing a sequence and draining with acks always yields the
+	// pushed word-addresses in order (modulo coalescing into the tail).
+	f := func(addrs []uint8) bool {
+		w := newWriteBuffer(64)
+		var want []uint32
+		for i, a := range addrs {
+			addr := uint32(a&0x3f) * 4
+			if n := len(want); n > 0 && want[n-1] == addr {
+				// coalesces into the newest entry
+				if !w.Push(addr, uint32(i), 0xf) {
+					return false
+				}
+				continue
+			}
+			if !w.Push(addr, uint32(i), 0xf) {
+				return false
+			}
+			want = append(want, addr)
+		}
+		var got []uint32
+		for {
+			e, ok := w.NextToSend()
+			if !ok {
+				break
+			}
+			e.sent = true
+			got = append(got, e.addr)
+			if !w.Ack(e.addr) {
+				return false
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return w.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

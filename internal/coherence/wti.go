@@ -1,0 +1,288 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// WTICache is the write-through data-cache controller: a direct-mapped,
+// write-no-allocate cache with Valid(=Shared)/Invalid lines and a
+// posted write buffer. It serves both write-through policies — the
+// paper's WTI (the directory invalidates other copies on a write) and
+// the WTU extension (the directory forwards the written word to the
+// other copies instead); the cache side only differs in handling the
+// incoming directory command. Behaviour follows the paper's Figure 1
+// FSM and Table 1 costs:
+//
+//   - read hit: served locally;
+//   - read miss: blocking 2-hop ReqRead;
+//   - write (hit or miss handled identically): posted into the write
+//     buffer and sent to the bank as a ReqWriteThrough — non-blocking
+//     for the processor until the buffer is full (2 hops without
+//     sharers, 4 hops when the directory must invalidate copies);
+//   - atomic swap: performed at the bank, blocking, after the write
+//     buffer has drained (it is the synchronization primitive).
+type WTICache struct {
+	id       int // CPU / node id
+	proto    Protocol
+	p        Params
+	arr      *cacheArray
+	wb       *writeBuffer
+	node     *Node
+	amap     *mem.AddrMap
+	bankBase int // node id of bank 0
+
+	pend wtiPending
+	st   DCacheStats
+
+	// strictStore tracks the store blocking for its ack in StrictSC
+	// mode; strictDone reports the ack arrived and the next retry may
+	// complete.
+	strictStore bool
+	strictDone  bool
+}
+
+type wtiPending struct {
+	active bool
+	isSwap bool
+	issued bool
+	addr   uint32 // block address (read) or word address (swap)
+	newVal uint32 // swap operand
+	oldVal uint32 // swap result
+	done   bool   // swap completed
+}
+
+// NewWTICache builds the write-through invalidate controller for CPU id.
+func NewWTICache(id int, p Params, node *Node, amap *mem.AddrMap, bankBase int) *WTICache {
+	return newWriteThroughCache(id, WTI, p, node, amap, bankBase)
+}
+
+// NewWTUCache builds the write-through update controller for CPU id.
+func NewWTUCache(id int, p Params, node *Node, amap *mem.AddrMap, bankBase int) *WTICache {
+	return newWriteThroughCache(id, WTU, p, node, amap, bankBase)
+}
+
+func newWriteThroughCache(id int, proto Protocol, p Params, node *Node, amap *mem.AddrMap, bankBase int) *WTICache {
+	return &WTICache{
+		id:       id,
+		proto:    proto,
+		p:        p,
+		arr:      newCacheArray(p.DCacheBytes, p.BlockBytes, p.Ways),
+		wb:       newWriteBuffer(p.WriteBufferWords),
+		node:     node,
+		amap:     amap,
+		bankBase: bankBase,
+	}
+}
+
+// Protocol implements DataCache.
+func (c *WTICache) Protocol() Protocol { return c.proto }
+
+// Stats implements DataCache.
+func (c *WTICache) Stats() *DCacheStats { return &c.st }
+
+func (c *WTICache) bankNode(addr uint32) int {
+	return c.bankBase + c.amap.BankOf(addr)
+}
+
+// Load implements DataCache.
+func (c *WTICache) Load(now uint64, addr uint32, byteEn uint8) (uint32, bool) {
+	if c.pend.active && !c.pend.isSwap {
+		// Outstanding read miss; the fill handler clears pend and the
+		// retry will hit below.
+		return 0, false
+	}
+	waddr := WordAddr(addr)
+	// Under WTU the local line is only brought up to date by the
+	// directory's own CmdUpdate (serialization order!), so the write
+	// buffer must be consulted before a line hit; under WTI a store
+	// hit updated the line immediately, so the hit is always fresh.
+	if c.proto == WTU {
+		if w, ok, conflict := c.wb.Forward(waddr, byteEn); ok {
+			c.st.Loads++
+			c.st.WBForwards++
+			return w, true
+		} else if conflict {
+			return 0, false // partial overlap: wait for the drain
+		}
+	}
+	if set, hit := c.arr.lookup(addr); hit {
+		c.st.Loads++
+		c.st.LoadHits++
+		return c.arr.readWord(set, waddr), true
+	}
+	// Forward from the write buffer when it fully covers the access.
+	if w, ok, conflict := c.wb.Forward(waddr, byteEn); ok {
+		c.st.Loads++
+		c.st.WBForwards++
+		return w, true
+	} else if conflict {
+		return 0, false // partial overlap: wait for the drain
+	}
+	blk := c.p.BlockAddr(addr)
+	if c.wb.HasUnsentInBlock(blk, c.p.BlockBytes) {
+		return 0, false // posted writes to this block must depart first
+	}
+	if !c.pend.active {
+		c.st.Loads++
+		c.st.LoadMisses++
+		c.pend = wtiPending{active: true, addr: blk}
+		c.tryIssue(now)
+	}
+	return 0, false
+}
+
+// Store implements DataCache.
+func (c *WTICache) Store(now uint64, addr uint32, word uint32, byteEn uint8) bool {
+	waddr := WordAddr(addr)
+	if c.p.StrictSC {
+		if c.strictDone {
+			c.strictDone = false
+			return true
+		}
+		if c.strictStore || !c.wb.Empty() {
+			return false // previous store still in flight
+		}
+		if !c.wb.Push(waddr, word, byteEn) {
+			return false
+		}
+		c.recordStore(addr, waddr, word, byteEn)
+		c.strictStore = true
+		return false // completes (returns true) only after the ack
+	}
+	if !c.wb.Push(waddr, word, byteEn) {
+		c.st.WBufFullStalls++
+		return false
+	}
+	c.recordStore(addr, waddr, word, byteEn)
+	return true
+}
+
+// recordStore updates the local copy on a write hit and the counters.
+// Under WTU the local copy is deliberately NOT written here: the
+// directory serializes all writes to a word and brings every sharer —
+// including the writer — up to date through CmdUpdate, so a locally
+// applied value could otherwise be clobbered out of order by a remote
+// update that was serialized earlier but arrives later. The window
+// until the writer's own CmdUpdate arrives is covered by write-buffer
+// forwarding.
+func (c *WTICache) recordStore(addr, waddr uint32, word uint32, byteEn uint8) {
+	c.st.Stores++
+	if set, hit := c.arr.lookup(addr); hit {
+		c.st.StoreHits++
+		if c.proto != WTU {
+			c.arr.writeWord(set, waddr, word, byteEn)
+		}
+	} else {
+		c.st.StoreMisses++ // write-no-allocate: nothing else to do
+	}
+}
+
+// Swap implements DataCache. The swap is a blocking read-modify-write
+// performed at the memory bank; the requester drops its own copy and
+// the directory invalidates every other one.
+func (c *WTICache) Swap(now uint64, addr uint32, newWord uint32) (uint32, bool) {
+	waddr := WordAddr(addr)
+	if c.pend.active && c.pend.isSwap {
+		if c.pend.done {
+			old := c.pend.oldVal
+			c.pend = wtiPending{}
+			return old, true
+		}
+		return 0, false
+	}
+	if c.pend.active {
+		return 0, false
+	}
+	if !c.wb.Empty() {
+		return 0, false // swaps order after every earlier store
+	}
+	c.st.Swaps++
+	c.arr.invalidate(waddr) // self-invalidate: the bank owns the new value
+	c.pend = wtiPending{active: true, isSwap: true, addr: waddr, newVal: newWord}
+	c.tryIssue(now)
+	return 0, false
+}
+
+// tryIssue attempts to place the pending miss or swap on the wire.
+func (c *WTICache) tryIssue(now uint64) {
+	if !c.pend.active || c.pend.issued {
+		return
+	}
+	var m *Msg
+	if c.pend.isSwap {
+		m = &Msg{Kind: ReqSwap, Src: c.id, Addr: c.pend.addr, Word: c.pend.newVal}
+	} else {
+		m = &Msg{Kind: ReqRead, Src: c.id, Addr: c.pend.addr}
+	}
+	if c.node.TrySendReq(m, c.bankNode(c.pend.addr), now) {
+		c.pend.issued = true
+	}
+}
+
+// Tick implements DataCache: retries unsent requests and drains the
+// write buffer (one write-through in flight at a time).
+func (c *WTICache) Tick(now uint64) {
+	c.tryIssue(now)
+	if e, ok := c.wb.NextToSend(); ok {
+		m := &Msg{Kind: ReqWriteThrough, Src: c.id, Addr: e.addr, Word: e.word, ByteEn: e.byteEn}
+		if c.node.TrySendReq(m, c.bankNode(e.addr), now) {
+			e.sent = true
+		}
+	}
+}
+
+// HandleMsg implements DataCache.
+func (c *WTICache) HandleMsg(m *Msg, now uint64) {
+	switch m.Kind {
+	case RspData:
+		if !c.pend.active || c.pend.isSwap || c.pend.addr != m.Addr {
+			panic(fmt.Sprintf("coherence: WTI cache %d: unexpected %v", c.id, m))
+		}
+		c.arr.fill(m.Addr, Shared, m.Data)
+		c.pend = wtiPending{}
+	case RspWriteAck:
+		if !c.wb.Ack(m.Addr) {
+			panic(fmt.Sprintf("coherence: WTI cache %d: stray write ack %v", c.id, m))
+		}
+		if c.strictStore && c.wb.Empty() {
+			c.strictStore = false
+			c.strictDone = true
+		}
+	case RspSwap:
+		if !c.pend.active || !c.pend.isSwap || c.pend.addr != m.Addr {
+			panic(fmt.Sprintf("coherence: WTI cache %d: unexpected %v", c.id, m))
+		}
+		c.pend.done = true
+		c.pend.oldVal = m.Word
+	case CmdInval:
+		c.st.InvalsReceived++
+		if c.arr.invalidate(m.Addr) {
+			c.st.CopiesDropped++
+		}
+		c.node.SendCtrl(&Msg{Kind: RspInvAck, Src: c.id, Addr: m.Addr}, c.bankNode(m.Addr), now)
+	case CmdUpdate:
+		c.st.UpdatesReceived++
+		if set, hit := c.arr.lookup(m.Addr); hit {
+			c.arr.writeWord(set, WordAddr(m.Addr), m.Word, m.ByteEn)
+			c.st.UpdatesApplied++
+		}
+		c.node.SendCtrl(&Msg{Kind: RspInvAck, Src: c.id, Addr: m.Addr}, c.bankNode(m.Addr), now)
+	default:
+		panic(fmt.Sprintf("coherence: WTI cache %d: unhandled %v", c.id, m))
+	}
+}
+
+// Drained implements DataCache.
+func (c *WTICache) Drained() bool {
+	return !c.pend.active && c.wb.Empty()
+}
+
+// PeekLine exposes line state for the invariant checker and tests.
+func (c *WTICache) PeekLine(addr uint32) (LineState, []byte) {
+	if line, hit := c.arr.probe(addr); hit {
+		return c.arr.state[line], c.arr.lineData(line)
+	}
+	return Invalid, nil
+}

@@ -1,0 +1,149 @@
+// Package core assembles and runs complete simulated platforms: n SR32
+// CPUs with split I/D caches sharing one NoC port each, m memory banks
+// with co-located full-map directories, and the interconnect — the
+// system of the paper's Figure 3 — and exposes the measurements the
+// paper reports (execution time, NoC traffic, data-stall share).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/noc"
+)
+
+// NoCKind selects the interconnect model.
+type NoCKind int
+
+// Interconnect models.
+const (
+	// GMNNet is the paper's Generic Micro Network (crossbar with delay
+	// FIFOs) — the default.
+	GMNNet NoCKind = iota
+	// MeshNet is the 2D-mesh router network used for the ablation.
+	MeshNet
+	// BusNet is a single shared bus — the interconnect class the
+	// paper's introduction argues against; used by the ablation that
+	// re-creates WTI's historical bus handicap.
+	BusNet
+)
+
+// String implements fmt.Stringer.
+func (k NoCKind) String() string {
+	switch k {
+	case MeshNet:
+		return "mesh"
+	case BusNet:
+		return "bus"
+	default:
+		return "gmn"
+	}
+}
+
+// Config describes one platform instance.
+type Config struct {
+	Protocol coherence.Protocol
+	Arch     mem.Arch
+	NumCPUs  int
+
+	// Mem holds the cache/bank parameters; zero value means
+	// coherence.DefaultParams(NumCPUs).
+	Mem coherence.Params
+
+	NoC NoCKind
+	// GMN optionally overrides the GMN parameters (zero value: defaults
+	// for the node count). Ignored for MeshNet.
+	GMN noc.GMNConfig
+	// Mesh optionally overrides the mesh parameters.
+	Mesh noc.MeshConfig
+	// Bus optionally overrides the bus parameters.
+	Bus noc.BusConfig
+
+	FPU cpu.FPUTiming
+
+	// MaxCycles bounds the simulation (0 = the defensive default).
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the paper's platform for n CPUs on the given
+// architecture and protocol.
+func DefaultConfig(proto coherence.Protocol, arch mem.Arch, n int) Config {
+	return Config{
+		Protocol: proto,
+		Arch:     arch,
+		NumCPUs:  n,
+		Mem:      coherence.DefaultParams(n),
+		FPU:      cpu.DefaultFPUTiming(),
+	}
+}
+
+// normalize fills zero-value fields with defaults and validates.
+func (c *Config) normalize() error {
+	if c.NumCPUs < 1 {
+		return fmt.Errorf("core: NumCPUs must be positive")
+	}
+	if c.Mem.NumCPUs == 0 {
+		c.Mem = coherence.DefaultParams(c.NumCPUs)
+	}
+	if c.Mem.NumCPUs != c.NumCPUs {
+		return fmt.Errorf("core: Mem.NumCPUs (%d) != NumCPUs (%d)", c.Mem.NumCPUs, c.NumCPUs)
+	}
+	if c.Protocol == coherence.MOESI {
+		// MOESI's Owned state only works when owners can supply
+		// requesters directly.
+		c.Mem.CacheToCache = true
+	}
+	if err := c.Mem.Validate(); err != nil {
+		return err
+	}
+	if c.FPU == (cpu.FPUTiming{}) {
+		c.FPU = cpu.DefaultFPUTiming()
+	}
+	nodes := c.NumCPUs + c.Arch.NumBanks(c.NumCPUs)
+	switch c.NoC {
+	case GMNNet:
+		if c.GMN.Nodes == 0 {
+			c.GMN = noc.DefaultGMNConfig(nodes)
+		}
+		if c.GMN.Nodes != nodes {
+			return fmt.Errorf("core: GMN configured for %d nodes, platform has %d", c.GMN.Nodes, nodes)
+		}
+	case MeshNet:
+		if c.Mesh.Nodes == 0 {
+			c.Mesh = noc.DefaultMeshConfig(nodes)
+		}
+		if c.Mesh.Nodes != nodes {
+			return fmt.Errorf("core: mesh configured for %d nodes, platform has %d", c.Mesh.Nodes, nodes)
+		}
+	case BusNet:
+		if c.Bus.Nodes == 0 {
+			c.Bus = noc.DefaultBusConfig(nodes)
+		}
+		if c.Bus.Nodes != nodes {
+			return fmt.Errorf("core: bus configured for %d nodes, platform has %d", c.Bus.Nodes, nodes)
+		}
+	default:
+		return fmt.Errorf("core: unknown NoC kind %d", c.NoC)
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 2_000_000_000
+	}
+	return nil
+}
+
+// Describe renders the configuration in the style of the paper's
+// Table 2.
+func (c Config) Describe() string {
+	cfg := c
+	if err := cfg.normalize(); err != nil {
+		return "invalid config: " + err.Error()
+	}
+	banks := cfg.Arch.NumBanks(cfg.NumCPUs)
+	return fmt.Sprintf(
+		"protocol=%v arch=%v cpus=%d banks=%d dcache=%dB icache=%dB block=%dB assoc=direct wbuf=%dw noc=%v",
+		cfg.Protocol, cfg.Arch, cfg.NumCPUs, banks,
+		cfg.Mem.DCacheBytes, cfg.Mem.ICacheBytes, cfg.Mem.BlockBytes,
+		cfg.Mem.WriteBufferWords, cfg.NoC)
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/mem"
+	"repro/internal/noc"
+)
+
+func TestDefaultConfigNormalizes(t *testing.T) {
+	cfg := DefaultConfig(coherence.WTI, mem.Arch2, 8)
+	if err := cfg.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.GMN.Nodes != 8+11 {
+		t.Fatalf("GMN nodes = %d, want 19 (8 CPUs + 11 banks)", cfg.GMN.Nodes)
+	}
+	if cfg.MaxCycles == 0 {
+		t.Fatal("MaxCycles not defaulted")
+	}
+	if cfg.Mem.BlockBytes != 32 || cfg.Mem.DCacheBytes != 4096 {
+		t.Fatalf("Table 2 defaults not applied: %+v", cfg.Mem)
+	}
+}
+
+func TestConfigRejectsBadValues(t *testing.T) {
+	bad := []Config{
+		{Protocol: coherence.WTI, Arch: mem.Arch1, NumCPUs: 0},
+		func() Config {
+			c := DefaultConfig(coherence.WTI, mem.Arch1, 4)
+			c.Mem.NumCPUs = 8 // mismatch
+			return c
+		}(),
+		func() Config {
+			c := DefaultConfig(coherence.WTI, mem.Arch1, 4)
+			c.GMN = noc.GMNConfig{Nodes: 3} // wrong node count
+			return c
+		}(),
+		func() Config {
+			c := DefaultConfig(coherence.WTI, mem.Arch1, 4)
+			c.NoC = NoCKind(42)
+			return c
+		}(),
+	}
+	for i, cfg := range bad {
+		if err := cfg.normalize(); err == nil {
+			t.Errorf("bad config %d normalized", i)
+		}
+	}
+}
+
+func TestConfigMeshNormalization(t *testing.T) {
+	cfg := DefaultConfig(coherence.WBMESI, mem.Arch1, 4)
+	cfg.NoC = MeshNet
+	if err := cfg.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mesh.Nodes != 6 {
+		t.Fatalf("mesh nodes = %d", cfg.Mesh.Nodes)
+	}
+}
+
+func TestDescribeMentionsEverything(t *testing.T) {
+	s := DefaultConfig(coherence.WBMESI, mem.Arch1, 16).Describe()
+	for _, want := range []string{"WB", "arch1", "cpus=16", "banks=2", "dcache=4096B", "block=32B", "wbuf=8w"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Describe() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestResultMetrics(t *testing.T) {
+	res := runCounter(t, coherence.WTI, mem.Arch2, GMNNet, 2, 40)
+	if res.MegaCycles() <= 0 {
+		t.Fatal("no cycles")
+	}
+	if res.TrafficBytes() == 0 {
+		t.Fatal("no traffic")
+	}
+	p := res.DataStallPercent()
+	if p <= 0 || p >= 100 {
+		t.Fatalf("stall%% = %v", p)
+	}
+	if res.LoadMissRate() <= 0 || res.LoadMissRate() > 1 {
+		t.Fatalf("miss rate = %v", res.LoadMissRate())
+	}
+	if !strings.Contains(res.Summary(), "Mcycles") {
+		t.Fatalf("Summary = %q", res.Summary())
+	}
+	if res.IFetches == 0 {
+		t.Fatal("no instruction fetches recorded")
+	}
+}
+
+func TestCheckCoherenceAfterRun(t *testing.T) {
+	for _, proto := range []coherence.Protocol{coherence.WTI, coherence.WTU, coherence.WBMESI} {
+		spec, err := buildQuickCounter(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := Build(DefaultConfig(proto, mem.Arch2, 4), spec.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.CheckCoherence(); err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+	}
+}
+
+func TestStrictSCEndToEnd(t *testing.T) {
+	spec, err := buildQuickCounter(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(coherence.WTI, mem.Arch2, 4)
+	cfg.Mem.StrictSC = true
+	sys, err := Build(cfg, spec.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Check(sys.Space); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheToCacheEndToEnd(t *testing.T) {
+	spec, err := buildQuickCounter(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(coherence.WBMESI, mem.Arch2, 4)
+	cfg.Mem.CacheToCache = true
+	sys, err := Build(cfg, spec.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sys.FlushCaches()
+	if err := spec.Check(sys.Space); err != nil {
+		t.Fatal(err)
+	}
+	var c2c uint64
+	for i := range sys.DCaches {
+		c2c += sys.DCaches[i].Stats().C2CTransfers
+	}
+	if c2c == 0 {
+		t.Fatal("no cache-to-cache transfers occurred on a contended counter")
+	}
+}
+
+func TestDeadlineSurfacesStuckPCs(t *testing.T) {
+	// A program that never halts must produce the deadline error with
+	// the stuck program counters in it.
+	spec, err := buildQuickCounter(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(coherence.WTI, mem.Arch2, 1)
+	cfg.MaxCycles = 50
+	sys, err := Build(cfg, spec.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Run()
+	if err == nil || !strings.Contains(err.Error(), "cpu0@") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestResultJSONExport(t *testing.T) {
+	res := runCounter(t, coherence.WBMESI, mem.Arch2, GMNNet, 2, 30)
+	j := res.JSON()
+	if j.Protocol != "WB" || j.Arch != "arch2" || j.NumCPUs != 2 {
+		t.Fatalf("identity fields: %+v", j)
+	}
+	if j.Cycles != res.Cycles || j.TrafficBytes != res.TrafficBytes() {
+		t.Fatal("metric fields do not match the result")
+	}
+	var buf strings.Builder
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"megacycles\"") {
+		t.Fatalf("JSON output missing fields: %s", buf.String())
+	}
+}

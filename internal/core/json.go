@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ResultJSON is the flattened, stable export schema for one run — the
+// machine-readable counterpart of Result.Summary, for feeding external
+// analysis or plotting tools.
+type ResultJSON struct {
+	Protocol string `json:"protocol"`
+	Arch     string `json:"arch"`
+	NumCPUs  int    `json:"cpus"`
+	NoC      string `json:"noc"`
+
+	Cycles           uint64  `json:"cycles"`
+	MegaCycles       float64 `json:"megacycles"`
+	Instructions     uint64  `json:"instructions"`
+	TrafficBytes     uint64  `json:"traffic_bytes"`
+	Packets          uint64  `json:"packets"`
+	DataStallPct     float64 `json:"data_stall_pct"`
+	InstStallPct     float64 `json:"inst_stall_pct"`
+	LoadMissRate     float64 `json:"load_miss_rate"`
+	IFetches         uint64  `json:"ifetches"`
+	IMisses          uint64  `json:"imisses"`
+	InvalsSent       uint64  `json:"invals_sent"`
+	UpdatesSent      uint64  `json:"updates_sent"`
+	FetchesSent      uint64  `json:"fetches_sent"`
+	Writebacks       uint64  `json:"writebacks"`
+	Upgrades         uint64  `json:"upgrades"`
+	Swaps            uint64  `json:"swaps"`
+	C2CTransfers     uint64  `json:"c2c_transfers"`
+	WBufFullStalls   uint64  `json:"wbuf_full_stalls"`
+	DeferredRequests uint64  `json:"deferred_requests"`
+}
+
+// JSON flattens the result into the export schema.
+func (r *Result) JSON() ResultJSON {
+	out := ResultJSON{
+		Protocol:     r.Config.Protocol.String(),
+		Arch:         r.Config.Arch.String(),
+		NumCPUs:      r.Config.NumCPUs,
+		NoC:          r.Config.NoC.String(),
+		Cycles:       r.Cycles,
+		MegaCycles:   r.MegaCycles(),
+		Instructions: r.Instructions(),
+		TrafficBytes: r.TrafficBytes(),
+		Packets:      r.Net.Packets,
+		DataStallPct: r.DataStallPercent(),
+		InstStallPct: r.InstStallPercent(),
+		LoadMissRate: r.LoadMissRate(),
+		IFetches:     r.IFetches,
+		IMisses:      r.IMisses,
+	}
+	for i := range r.DCache {
+		d := &r.DCache[i]
+		out.Writebacks += d.Writebacks
+		out.Upgrades += d.Upgrades
+		out.Swaps += d.Swaps
+		out.C2CTransfers += d.C2CTransfers
+		out.WBufFullStalls += d.WBufFullStalls
+	}
+	for i := range r.Mem {
+		m := &r.Mem[i]
+		out.InvalsSent += m.InvalsSent
+		out.UpdatesSent += m.UpdatesSent
+		out.FetchesSent += m.FetchesSent
+		out.DeferredRequests += m.Deferred
+	}
+	return out
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.JSON())
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+	"repro/internal/noc"
+	"repro/internal/stats"
+)
+
+// Result collects the measurements of one run — the quantities behind
+// the paper's Figures 4 (execution time), 5 (NoC traffic in bytes) and
+// 6 (data-cache stall share).
+type Result struct {
+	Config Config
+	// Cycles is the execution time: cycles until the last CPU halted.
+	Cycles uint64
+	// Net is the interconnect traffic accumulated over the whole run.
+	Net noc.Stats
+
+	CPU    []cpu.Stats
+	DCache []coherence.DCacheStats
+	Mem    []coherence.MemStats
+	// IFetches / IMisses aggregate the instruction caches.
+	IFetches uint64
+	IMisses  uint64
+}
+
+func (s *System) collect(cycles uint64) *Result {
+	r := &Result{Config: s.Cfg, Cycles: cycles, Net: s.Net.Stats()}
+	for i := range s.CPUs {
+		r.CPU = append(r.CPU, *s.CPUs[i].Stats())
+		r.DCache = append(r.DCache, *s.DCaches[i].Stats())
+		r.IFetches += s.ICaches[i].Fetches
+		r.IMisses += s.ICaches[i].Misses
+	}
+	for _, b := range s.Banks {
+		r.Mem = append(r.Mem, *b.Stats())
+	}
+	return r
+}
+
+// MegaCycles is the Figure 4 metric.
+func (r *Result) MegaCycles() float64 { return stats.Mega(r.Cycles) }
+
+// TrafficBytes is the Figure 5 metric.
+func (r *Result) TrafficBytes() uint64 { return r.Net.TotalBytes }
+
+// DataStallPercent is the Figure 6 metric: the share of all CPU cycles
+// spent stalled on data-cache accesses (including write-buffer-full
+// and write-allocate stalls), averaged over the CPUs.
+func (r *Result) DataStallPercent() float64 {
+	var stall uint64
+	for i := range r.CPU {
+		stall += r.CPU[i].DataStallCycles
+	}
+	return stats.Percent(stall, uint64(len(r.CPU))*r.Cycles)
+}
+
+// InstStallPercent is the instruction-refill counterpart.
+func (r *Result) InstStallPercent() float64 {
+	var stall uint64
+	for i := range r.CPU {
+		stall += r.CPU[i].InstStallCycles
+	}
+	return stats.Percent(stall, uint64(len(r.CPU))*r.Cycles)
+}
+
+// Instructions totals retired instructions across CPUs.
+func (r *Result) Instructions() uint64 {
+	var n uint64
+	for i := range r.CPU {
+		n += r.CPU[i].Instructions
+	}
+	return n
+}
+
+// LoadMissRate is data-cache load misses over loads, across CPUs.
+func (r *Result) LoadMissRate() float64 {
+	var loads, misses uint64
+	for i := range r.DCache {
+		loads += r.DCache[i].Loads
+		misses += r.DCache[i].LoadMisses
+	}
+	return stats.Ratio(float64(misses), float64(loads))
+}
+
+// Summary renders the headline numbers on one line.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("%s: %.3f Mcycles, %.2f MB traffic, %.1f%% data stall, %d instr",
+		r.Config.Describe(), r.MegaCycles(),
+		float64(r.TrafficBytes())/1e6, r.DataStallPercent(), r.Instructions())
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// System is one fully wired platform ready to run a loaded image.
+type System struct {
+	Cfg     Config
+	Layout  mem.Layout
+	Engine  *sim.Engine
+	Net     noc.Network
+	Space   *mem.Space
+	AddrMap *mem.AddrMap
+
+	CPUs    []*cpu.CPU
+	DCaches []coherence.DataCache
+	ICaches []*coherence.ICache
+	Nodes   []*coherence.Node // CPU-side nodes
+	Banks   []*coherence.MemCtrl
+	BNodes  []*coherence.Node // bank-side nodes
+}
+
+// Build wires a platform for cfg and loads the image. Every CPU resets
+// to the image entry with its conventional stack pointer (runtime-based
+// programs install their own stacks immediately).
+func Build(cfg Config, img *mem.Image) (*System, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	n := cfg.NumCPUs
+	layout := mem.DefaultLayout(n)
+	amap := cfg.Arch.BuildMap(layout)
+	banks := amap.NumBanks
+
+	var net noc.Network
+	switch cfg.NoC {
+	case MeshNet:
+		net = noc.NewMesh(cfg.Mesh)
+	case BusNet:
+		net = noc.NewBus(cfg.Bus)
+	default:
+		net = noc.NewGMN(cfg.GMN)
+	}
+
+	space := mem.NewSpace()
+	img.LoadInto(space)
+
+	sys := &System{
+		Cfg:     cfg,
+		Layout:  layout,
+		Engine:  sim.NewEngine(),
+		Net:     net,
+		Space:   space,
+		AddrMap: amap,
+	}
+
+	// Memory banks: node ids n..n+m-1.
+	for b := 0; b < banks; b++ {
+		mc := coherence.NewMemCtrl(b, n+b, cfg.Mem, cfg.Protocol, space)
+		node := coherence.NewNode(n+b, net, mc)
+		mc.SetNode(node)
+		sys.Banks = append(sys.Banks, mc)
+		sys.BNodes = append(sys.BNodes, node)
+	}
+
+	// CPUs with split caches sharing one node each: node ids 0..n-1.
+	for i := 0; i < n; i++ {
+		sink := &coherence.CPUSink{}
+		node := coherence.NewNode(i, net, sink)
+		var dc coherence.DataCache
+		switch cfg.Protocol {
+		case coherence.WTI:
+			dc = coherence.NewWTICache(i, cfg.Mem, node, amap, n)
+		case coherence.WTU:
+			dc = coherence.NewWTUCache(i, cfg.Mem, node, amap, n)
+		case coherence.MOESI:
+			dc = coherence.NewMOESICache(i, cfg.Mem, node, amap, n)
+		default:
+			dc = coherence.NewMESICache(i, cfg.Mem, node, amap, n)
+		}
+		ic := coherence.NewICache(i, cfg.Mem, node, amap, n)
+		sink.D = dc
+		sink.I = ic
+		c := cpu.New(i, ic, dc, cfg.FPU)
+		c.Reset(img.Entry, layout.StackTop(i), n)
+		sys.CPUs = append(sys.CPUs, c)
+		sys.DCaches = append(sys.DCaches, dc)
+		sys.ICaches = append(sys.ICaches, ic)
+		sys.Nodes = append(sys.Nodes, node)
+	}
+
+	// Tick order: CPUs issue, caches retry pending work, CPU nodes
+	// move messages, bank nodes deliver/respond, then the network
+	// advances. All cross-component messages are latched, so this
+	// order is a convention, not a correctness requirement.
+	for i := 0; i < n; i++ {
+		sys.Engine.Register(fmt.Sprintf("cpu%d", i), sys.CPUs[i])
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		sys.Engine.Register(fmt.Sprintf("caches%d", i), sim.TickFunc(func(now uint64) {
+			sys.DCaches[i].Tick(now)
+			sys.ICaches[i].Tick(now)
+			sys.Nodes[i].Tick(now)
+		}))
+	}
+	for b := 0; b < banks; b++ {
+		sys.Engine.Register(fmt.Sprintf("bank%d", b), sys.BNodes[b])
+	}
+	sys.Engine.Register("noc", sim.TickFunc(net.Tick))
+	return sys, nil
+}
+
+// AllHalted reports whether every CPU has executed HALT.
+func (s *System) AllHalted() bool {
+	for _, c := range s.CPUs {
+		if !c.Halted() {
+			return false
+		}
+	}
+	return true
+}
+
+// Quiescent reports whether, additionally, no protocol activity is in
+// flight anywhere.
+func (s *System) Quiescent() bool {
+	if !s.AllHalted() || !s.Net.Quiet() {
+		return false
+	}
+	for i := range s.DCaches {
+		if !s.DCaches[i].Drained() || !s.ICaches[i].Drained() || !s.Nodes[i].Idle() {
+			return false
+		}
+	}
+	for b := range s.Banks {
+		if !s.Banks[b].Drained() || !s.BNodes[b].Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes until every CPU halts (the measured execution time, as
+// in the paper's Figure 4), then drains in-flight traffic so the final
+// memory state is stable for checking. It returns the results.
+func (s *System) Run() (*Result, error) {
+	cycles, err := s.Engine.Run(s.Cfg.MaxCycles, s.AllHalted)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w (pcs: %v)", err, s.pcs())
+	}
+	// Drain phase: not part of the measured execution time.
+	if _, err := s.Engine.Run(1_000_000, s.Quiescent); err != nil {
+		return nil, fmt.Errorf("core: drain did not quiesce: %w", err)
+	}
+	return s.collect(cycles), nil
+}
+
+// CheckCoherence verifies the protocol invariants over the quiescent
+// system (call after Run, before FlushCaches).
+func (s *System) CheckCoherence() error {
+	return coherence.CheckCoherence(s.DCaches, s.Space, func(addr uint32) *coherence.MemCtrl {
+		return s.Banks[s.AddrMap.BankOf(addr)]
+	})
+}
+
+// FlushCaches writes every dirty cached block back into the memory
+// space so host-side checks observe the final architectural state.
+// Write-through caches have nothing to flush — memory is always up to
+// date, one of the WTI properties the paper highlights.
+func (s *System) FlushCaches() {
+	for _, dc := range s.DCaches {
+		if m, ok := dc.(*coherence.MESICache); ok {
+			m.FlushDirtyInto(s.Space)
+		}
+	}
+}
+
+func (s *System) pcs() []string {
+	out := make([]string, 0, len(s.CPUs))
+	for _, c := range s.CPUs {
+		if !c.Halted() {
+			out = append(out, fmt.Sprintf("cpu%d@%#x", c.ID, c.PC()))
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/coherence"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// runCounter builds and runs the lock-counter workload on the given
+// platform, failing the test on any error or wrong final state.
+func runCounter(t *testing.T, proto coherence.Protocol, arch mem.Arch, nocKind NoCKind, n, incs int) *Result {
+	t.Helper()
+	mode := codegen.SMP
+	if arch == mem.Arch2 {
+		mode = codegen.DS
+	}
+	spec, err := workload.BuildCounter(mem.DefaultLayout(n), mode, workload.CounterParams{Threads: n, Incs: incs})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	cfg := DefaultConfig(proto, arch, n)
+	cfg.NoC = nocKind
+	sys, err := Build(cfg, spec.Image)
+	if err != nil {
+		t.Fatalf("wire: %v", err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sys.FlushCaches()
+	if err := spec.Check(sys.Space); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return res
+}
+
+func TestCounterEndToEnd(t *testing.T) {
+	for _, proto := range []coherence.Protocol{coherence.WTI, coherence.WTU, coherence.WBMESI, coherence.MOESI} {
+		for _, arch := range []mem.Arch{mem.Arch1, mem.Arch2} {
+			for _, n := range []int{1, 2, 4} {
+				name := fmt.Sprintf("%v/%v/n%d", proto, arch, n)
+				t.Run(name, func(t *testing.T) {
+					res := runCounter(t, proto, arch, GMNNet, n, 50)
+					if res.Cycles == 0 {
+						t.Fatal("no cycles executed")
+					}
+					if res.Instructions() == 0 {
+						t.Fatal("no instructions retired")
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestCounterOnMesh(t *testing.T) {
+	for _, proto := range []coherence.Protocol{coherence.WTI, coherence.WBMESI} {
+		t.Run(proto.String(), func(t *testing.T) {
+			runCounter(t, proto, mem.Arch2, MeshNet, 4, 30)
+		})
+	}
+}
+
+func TestCounterDeterminism(t *testing.T) {
+	a := runCounter(t, coherence.WTI, mem.Arch1, GMNNet, 4, 25)
+	b := runCounter(t, coherence.WTI, mem.Arch1, GMNNet, 4, 25)
+	if a.Cycles != b.Cycles || a.TrafficBytes() != b.TrafficBytes() {
+		t.Fatalf("nondeterministic: %d/%d cycles, %d/%d bytes",
+			a.Cycles, b.Cycles, a.TrafficBytes(), b.TrafficBytes())
+	}
+}
+
+// buildQuickCounter builds a small counter workload for config tests.
+func buildQuickCounter(n int) (*workload.Spec, error) {
+	return workload.BuildCounter(mem.DefaultLayout(n), codegen.DS,
+		workload.CounterParams{Threads: n, Incs: 20})
+}

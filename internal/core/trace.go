@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/coherence"
+)
+
+// TraceMessages installs a protocol event log on every node: one line
+// per message injected into or delivered from the NoC, in the form
+//
+//	[cycle] node --kind--> peer addr=0x... (tx)
+//
+// limit bounds the number of lines (0 = unlimited); tracing stops
+// silently once it is reached. Call before Run.
+func (s *System) TraceMessages(w io.Writer, limit int) {
+	var lines int
+	hook := func(now uint64, dir string, self, peer int, m *coherence.Msg) {
+		if limit > 0 && lines >= limit {
+			return
+		}
+		lines++
+		from, to := self, peer
+		if dir == "rx" {
+			from, to = peer, self
+		}
+		fmt.Fprintf(w, "[%8d] %s %s --%s--> %s addr=%#x\n",
+			now, dir, s.nodeName(from), m.Kind, s.nodeName(to), m.Addr)
+	}
+	for _, n := range s.Nodes {
+		n.Trace = hook
+	}
+	for _, n := range s.BNodes {
+		n.Trace = hook
+	}
+}
+
+// nodeName renders a node id as cpuN or bankN.
+func (s *System) nodeName(id int) string {
+	if id < s.Cfg.NumCPUs {
+		return fmt.Sprintf("cpu%d", id)
+	}
+	return fmt.Sprintf("bank%d", id-s.Cfg.NumCPUs)
+}

@@ -1,0 +1,369 @@
+// Package cpu implements the SR32 in-order processor model. Each CPU
+// retires at most one instruction per cycle; instruction fetches go
+// through the instruction cache and data accesses through the
+// protocol's data cache, both with a poll-retry discipline, so every
+// stalled cycle is attributed to its cause (instruction refill, data
+// access, or FPU occupancy). The data-stall share of execution time is
+// the metric of the paper's Figure 6.
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/coherence"
+	"repro/internal/isa"
+)
+
+// Register conventions used by the code generator and runtime: r0 is
+// hardwired zero; at reset r1 holds the CPU id and r2 the CPU count;
+// r29 is the stack pointer and r31 the link register.
+const (
+	RegZero = 0
+	RegID   = 1
+	RegNum  = 2
+	RegSP   = 29
+	RegRA   = 31
+)
+
+// InstrPort is the CPU's instruction-fetch interface, implemented by
+// coherence.ICache and by test fakes.
+type InstrPort interface {
+	Fetch(now uint64, addr uint32) (uint32, bool)
+}
+
+// FPUTiming gives the multi-cycle latencies of floating-point
+// operations (occupancy of the single FPU).
+type FPUTiming struct {
+	Add int
+	Mul int
+	Div int
+}
+
+// DefaultFPUTiming mirrors a simple single-precision SPARC-class FPU.
+func DefaultFPUTiming() FPUTiming { return FPUTiming{Add: 2, Mul: 4, Div: 16} }
+
+// Stats aggregates one CPU's execution counters.
+type Stats struct {
+	Instructions    uint64
+	Loads           uint64
+	Stores          uint64
+	Swaps           uint64
+	DataStallCycles uint64
+	InstStallCycles uint64
+	FPUBusyCycles   uint64
+	HaltedAt        uint64
+}
+
+// CPU is one SR32 core.
+type CPU struct {
+	ID int
+
+	regs  [32]uint32
+	fregs [32]float32
+	pc    uint32
+
+	icache InstrPort
+	dcache coherence.DataCache
+	fpu    FPUTiming
+
+	busyUntil uint64
+	halted    bool
+
+	st Stats
+}
+
+// New builds a core wired to its caches.
+func New(id int, ic InstrPort, dc coherence.DataCache, fpu FPUTiming) *CPU {
+	return &CPU{ID: id, icache: ic, dcache: dc, fpu: fpu}
+}
+
+// Reset initializes the architectural state: entry PC, stack pointer,
+// and the id/count registers the runtime boot code relies on.
+func (c *CPU) Reset(entry, sp uint32, numCPUs int) {
+	c.regs = [32]uint32{}
+	c.fregs = [32]float32{}
+	c.pc = entry
+	c.regs[RegID] = uint32(c.ID)
+	c.regs[RegNum] = uint32(numCPUs)
+	c.regs[RegSP] = sp
+	c.halted = false
+	c.busyUntil = 0
+}
+
+// Halted reports whether the core has executed HALT.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Stats returns the core's counters.
+func (c *CPU) Stats() *Stats { return &c.st }
+
+// PC returns the current program counter (diagnostics).
+func (c *CPU) PC() uint32 { return c.pc }
+
+// Reg returns integer register r (diagnostics and tests).
+func (c *CPU) Reg(r int) uint32 { return c.regs[r] }
+
+// FReg returns float register r (diagnostics and tests).
+func (c *CPU) FReg(r int) float32 { return c.fregs[r] }
+
+func (c *CPU) setReg(r uint8, v uint32) {
+	if r != RegZero {
+		c.regs[r] = v
+	}
+}
+
+// Tick advances the core by one cycle.
+func (c *CPU) Tick(now uint64) {
+	if c.halted {
+		return
+	}
+	if c.busyUntil > now {
+		c.st.FPUBusyCycles++
+		return
+	}
+	word, ok := c.icache.Fetch(now, c.pc)
+	if !ok {
+		c.st.InstStallCycles++
+		return
+	}
+	in := isa.Decode(word)
+	if in.Op == isa.OpInvalid {
+		panic(fmt.Sprintf("cpu %d: illegal instruction %#08x at pc=%#x", c.ID, word, c.pc))
+	}
+	if in.Op.IsMemory() {
+		if !c.execMem(now, in) {
+			c.st.DataStallCycles++
+			return
+		}
+		c.retire(now, c.pc+4)
+		return
+	}
+	c.exec(now, in)
+}
+
+func (c *CPU) retire(now uint64, nextPC uint32) {
+	c.st.Instructions++
+	c.pc = nextPC
+}
+
+// execMem performs a memory instruction; it reports false while the
+// access has not completed (the CPU retries next cycle).
+func (c *CPU) execMem(now uint64, in isa.Instr) bool {
+	addr := c.regs[in.Rs1] + uint32(in.Imm)
+	switch in.Op {
+	case isa.OpLw:
+		c.checkAlign(addr, 4)
+		w, ok := c.dcache.Load(now, addr, 0xf)
+		if !ok {
+			return false
+		}
+		c.setReg(in.Rd, w)
+		c.st.Loads++
+	case isa.OpFlw:
+		c.checkAlign(addr, 4)
+		w, ok := c.dcache.Load(now, addr, 0xf)
+		if !ok {
+			return false
+		}
+		c.fregs[in.Rd] = math.Float32frombits(w)
+		c.st.Loads++
+	case isa.OpLb, isa.OpLbu:
+		be := coherence.ByteEnFor(addr, 1)
+		w, ok := c.dcache.Load(now, addr, be)
+		if !ok {
+			return false
+		}
+		b := byte(w >> (8 * (addr & 3)))
+		if in.Op == isa.OpLb {
+			c.setReg(in.Rd, uint32(int32(int8(b))))
+		} else {
+			c.setReg(in.Rd, uint32(b))
+		}
+		c.st.Loads++
+	case isa.OpSw:
+		c.checkAlign(addr, 4)
+		if !c.dcache.Store(now, addr, c.regs[in.Rd], 0xf) {
+			return false
+		}
+		c.st.Stores++
+	case isa.OpFsw:
+		c.checkAlign(addr, 4)
+		if !c.dcache.Store(now, addr, math.Float32bits(c.fregs[in.Rd]), 0xf) {
+			return false
+		}
+		c.st.Stores++
+	case isa.OpSb:
+		sh := 8 * (addr & 3)
+		if !c.dcache.Store(now, addr, (c.regs[in.Rd]&0xff)<<sh, coherence.ByteEnFor(addr, 1)) {
+			return false
+		}
+		c.st.Stores++
+	case isa.OpSwap:
+		c.checkAlign(addr, 4)
+		old, ok := c.dcache.Swap(now, addr, c.regs[in.Rd])
+		if !ok {
+			return false
+		}
+		c.setReg(in.Rd, old)
+		c.st.Swaps++
+	default:
+		panic(fmt.Sprintf("cpu %d: execMem on %v", c.ID, in.Op))
+	}
+	return true
+}
+
+func (c *CPU) checkAlign(addr uint32, n uint32) {
+	if addr%n != 0 {
+		panic(fmt.Sprintf("cpu %d: unaligned %d-byte access at %#x (pc=%#x)", c.ID, n, addr, c.pc))
+	}
+}
+
+func (c *CPU) exec(now uint64, in isa.Instr) {
+	next := c.pc + 4
+	a, b := c.regs[in.Rs1], c.regs[in.Rs2]
+	switch in.Op {
+	case isa.OpAdd:
+		c.setReg(in.Rd, a+b)
+	case isa.OpSub:
+		c.setReg(in.Rd, a-b)
+	case isa.OpAnd:
+		c.setReg(in.Rd, a&b)
+	case isa.OpOr:
+		c.setReg(in.Rd, a|b)
+	case isa.OpXor:
+		c.setReg(in.Rd, a^b)
+	case isa.OpSll:
+		c.setReg(in.Rd, a<<(b&31))
+	case isa.OpSrl:
+		c.setReg(in.Rd, a>>(b&31))
+	case isa.OpSra:
+		c.setReg(in.Rd, uint32(int32(a)>>(b&31)))
+	case isa.OpSlt:
+		c.setReg(in.Rd, boolTo32(int32(a) < int32(b)))
+	case isa.OpSltu:
+		c.setReg(in.Rd, boolTo32(a < b))
+	case isa.OpMul:
+		c.setReg(in.Rd, a*b)
+	case isa.OpDiv:
+		if b == 0 {
+			c.setReg(in.Rd, 0xffffffff)
+		} else {
+			c.setReg(in.Rd, uint32(int32(a)/int32(b)))
+		}
+	case isa.OpRem:
+		if b == 0 {
+			c.setReg(in.Rd, a)
+		} else {
+			c.setReg(in.Rd, uint32(int32(a)%int32(b)))
+		}
+
+	case isa.OpAddi:
+		c.setReg(in.Rd, a+uint32(in.Imm))
+	case isa.OpAndi:
+		c.setReg(in.Rd, a&uint32(uint16(in.Imm)))
+	case isa.OpOri:
+		c.setReg(in.Rd, a|uint32(uint16(in.Imm)))
+	case isa.OpXori:
+		c.setReg(in.Rd, a^uint32(uint16(in.Imm)))
+	case isa.OpSlti:
+		c.setReg(in.Rd, boolTo32(int32(a) < in.Imm))
+	case isa.OpSlli:
+		c.setReg(in.Rd, a<<(uint32(in.Imm)&31))
+	case isa.OpSrli:
+		c.setReg(in.Rd, a>>(uint32(in.Imm)&31))
+	case isa.OpSrai:
+		c.setReg(in.Rd, uint32(int32(a)>>(uint32(in.Imm)&31)))
+	case isa.OpLui:
+		c.setReg(in.Rd, uint32(in.Imm)<<16)
+
+	case isa.OpBeq:
+		if a == c.regs[in.Rd] {
+			next = c.branchTarget(in)
+		}
+	case isa.OpBne:
+		if a != c.regs[in.Rd] {
+			next = c.branchTarget(in)
+		}
+	case isa.OpBlt:
+		if int32(a) < int32(c.regs[in.Rd]) {
+			next = c.branchTarget(in)
+		}
+	case isa.OpBge:
+		if int32(a) >= int32(c.regs[in.Rd]) {
+			next = c.branchTarget(in)
+		}
+	case isa.OpBltu:
+		if a < c.regs[in.Rd] {
+			next = c.branchTarget(in)
+		}
+	case isa.OpBgeu:
+		if a >= c.regs[in.Rd] {
+			next = c.branchTarget(in)
+		}
+	case isa.OpJal:
+		c.setReg(RegRA, next)
+		next = c.pc + 4 + uint32(in.Imm)*4
+	case isa.OpJalr:
+		target := a + uint32(in.Imm)
+		c.setReg(in.Rd, next)
+		next = target
+
+	case isa.OpFadd:
+		c.fregs[in.Rd] = c.fregs[in.Rs1] + c.fregs[in.Rs2]
+		c.fpuBusy(now, c.fpu.Add)
+	case isa.OpFsub:
+		c.fregs[in.Rd] = c.fregs[in.Rs1] - c.fregs[in.Rs2]
+		c.fpuBusy(now, c.fpu.Add)
+	case isa.OpFmul:
+		c.fregs[in.Rd] = c.fregs[in.Rs1] * c.fregs[in.Rs2]
+		c.fpuBusy(now, c.fpu.Mul)
+	case isa.OpFdiv:
+		c.fregs[in.Rd] = c.fregs[in.Rs1] / c.fregs[in.Rs2]
+		c.fpuBusy(now, c.fpu.Div)
+	case isa.OpFeq:
+		c.setReg(in.Rd, boolTo32(c.fregs[in.Rs1] == c.fregs[in.Rs2]))
+	case isa.OpFlt:
+		c.setReg(in.Rd, boolTo32(c.fregs[in.Rs1] < c.fregs[in.Rs2]))
+	case isa.OpFle:
+		c.setReg(in.Rd, boolTo32(c.fregs[in.Rs1] <= c.fregs[in.Rs2]))
+	case isa.OpCvtWS:
+		c.fregs[in.Rd] = float32(int32(a))
+		c.fpuBusy(now, c.fpu.Add)
+	case isa.OpCvtSW:
+		c.setReg(in.Rd, uint32(int32(c.fregs[in.Rs1])))
+		c.fpuBusy(now, c.fpu.Add)
+	case isa.OpFmov:
+		c.fregs[in.Rd] = c.fregs[in.Rs1]
+	case isa.OpFabs:
+		c.fregs[in.Rd] = float32(math.Abs(float64(c.fregs[in.Rs1])))
+	case isa.OpFneg:
+		c.fregs[in.Rd] = -c.fregs[in.Rs1]
+
+	case isa.OpHalt:
+		c.halted = true
+		c.st.HaltedAt = now
+	case isa.OpNop:
+		// nothing
+	default:
+		panic(fmt.Sprintf("cpu %d: exec on %v", c.ID, in.Op))
+	}
+	c.retire(now, next)
+}
+
+func (c *CPU) branchTarget(in isa.Instr) uint32 {
+	return c.pc + 4 + uint32(in.Imm)*4
+}
+
+// fpuBusy occupies the FPU for lat cycles total (this cycle included).
+func (c *CPU) fpuBusy(now uint64, lat int) {
+	if lat > 1 {
+		c.busyUntil = now + uint64(lat)
+	}
+}
+
+func boolTo32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

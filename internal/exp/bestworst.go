@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// AblationBestWorst runs the best-case/worst-case comparison the paper
+// lists as future work, using the synthetic trace engine:
+//
+//   - "sparse writes": each CPU stores one word per cache block,
+//     marching through its own buffer, never reading it back. WTI
+//     posts 4 useful bytes per block; WB must read-allocate the whole
+//     block and write it back later (64 bytes moved per 4 useful), so
+//     WTI wins clearly.
+//   - "private rmw": each CPU read-modify-writes a cache-resident
+//     private working set. After warm-up WB hits in M state and sends
+//     nothing; WTI keeps pushing every store to the bank, so WB should
+//     win clearly.
+func AblationBestWorst(n int) (*stats.Table, error) {
+	t := stats.NewTable("Ablation C — protocol best/worst cases (trace-driven)",
+		"pattern", "cpus", "WTI Mcyc", "WB Mcyc", "WTI MB", "WB MB")
+	l := mem.DefaultLayout(n)
+
+	patterns := []struct {
+		name string
+		gen  func(cpu int) trace.Generator
+		ops  uint64
+	}{
+		{
+			name: "sparse writes",
+			gen: func(cpu int) trace.Generator {
+				const buf = 512 * 1024
+				return trace.NewWriteStream(l.SharedBase+uint32(cpu)*buf, buf, 32)
+			},
+			ops: 8000,
+		},
+		{
+			name: "private rmw",
+			gen: func(cpu int) trace.Generator {
+				return trace.NewPrivateRMW(l.PrivateSeg(cpu), 2048)
+			},
+			ops: 8000,
+		},
+	}
+
+	for _, p := range patterns {
+		var cyc [2]float64
+		var mb [2]float64
+		for i, proto := range []coherence.Protocol{coherence.WTI, coherence.WBMESI} {
+			cfg := core.DefaultConfig(proto, mem.Arch2, n)
+			h, err := trace.NewHarness(cfg, p.gen, p.ops, 2)
+			if err != nil {
+				return nil, err
+			}
+			res, err := h.Run(0)
+			if err != nil {
+				return nil, err
+			}
+			cyc[i] = stats.Mega(res.Cycles)
+			mb[i] = float64(res.Net.TotalBytes) / 1e6
+		}
+		t.AddRow(p.name, n, cyc[0], cyc[1], mb[0], mb[1])
+	}
+	return t, nil
+}

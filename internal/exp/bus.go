@@ -1,0 +1,38 @@
+package exp
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// AblationBus re-creates the premise the paper builds on: prior work
+// found write-through invalidate "the least efficient protocol in a
+// bus-like interconnect", and the paper's thesis is that a NoC's
+// per-node bandwidth changes that verdict. Running the same workloads
+// over a single shared bus and over the GMN measures exactly how much
+// the interconnect rehabilitates WTI: the WTI/WB ratio should be worse
+// (higher) on the bus, where every posted write competes for the one
+// shared medium, and recover on the NoC.
+func AblationBus(sizes []int, sc Scale) (*stats.Table, error) {
+	t := stats.NewTable("Ablation H — shared bus vs NoC: the paper's premise (ocean)",
+		"interconnect", "cpus", "WTI Mcyc", "WB Mcyc", "WTI/WB")
+	for _, kind := range []core.NoCKind{core.BusNet, core.GMNNet} {
+		for _, n := range sizes {
+			var res [2]*core.Result
+			for i, proto := range []coherence.Protocol{coherence.WTI, coherence.WBMESI} {
+				r, err := Execute(Run{
+					Bench: Ocean, Protocol: proto, Arch: mem.Arch2, NumCPUs: n, NoC: kind,
+				}, sc)
+				if err != nil {
+					return nil, err
+				}
+				res[i] = r
+			}
+			t.AddRow(kind.String(), n, res[0].MegaCycles(), res[1].MegaCycles(),
+				stats.Ratio(res[0].MegaCycles(), res[1].MegaCycles()))
+		}
+	}
+	return t, nil
+}

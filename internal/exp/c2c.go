@@ -1,0 +1,36 @@
+package exp
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// AblationC2C measures the optimization the paper explicitly suggests
+// ("our implementations can be optimized by allowing cache to cache
+// transfers"): WB-MESI with owners forwarding blocks directly to
+// requesters (3-hop remote-dirty reads, dirty M-to-M handoffs that
+// skip the memory refresh) against the paper's symmetric baseline.
+func AblationC2C(n int, sc Scale) (*stats.Table, error) {
+	t := stats.NewTable("Ablation E — WB-MESI with cache-to-cache transfers",
+		"bench", "cpus", "WB Mcyc", "WB+C2C Mcyc", "speedup", "WB MB", "WB+C2C MB")
+	for _, bench := range []Bench{Ocean, Water} {
+		base, err := Execute(Run{
+			Bench: bench, Protocol: coherence.WBMESI, Arch: mem.Arch2, NumCPUs: n,
+		}, sc)
+		if err != nil {
+			return nil, err
+		}
+		c2c, err := Execute(Run{
+			Bench: bench, Protocol: coherence.WBMESI, Arch: mem.Arch2, NumCPUs: n, C2C: true,
+		}, sc)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(string(bench), n,
+			base.MegaCycles(), c2c.MegaCycles(),
+			stats.Ratio(base.MegaCycles(), c2c.MegaCycles()),
+			float64(base.TrafficBytes())/1e6, float64(c2c.TrafficBytes())/1e6)
+	}
+	return t, nil
+}

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// dirBitsPerBlock returns the directory state per block in bits: n
+// presence bits for the full map, or k pointers of ceil(log2 n) bits
+// plus a broadcast bit for Dir_k_B — the area trade-off behind the
+// paper's remark that the full map "does not scale well with a high
+// number of processors".
+func dirBitsPerBlock(n, k int) int {
+	if k == 0 {
+		return n
+	}
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	return k*bits + 1
+}
+
+// AblationDirLimited compares the full-map directory against
+// limited-pointer Dir_k_B variants (broadcast on overflow): the
+// storage shrinks, the invalidation traffic grows, and the protocols
+// are affected differently (WTI writes hit the directory far more
+// often). The paper cites exactly this class of schemes as the
+// adaptation path for its study.
+func AblationDirLimited(n int, sc Scale) (*stats.Table, error) {
+	t := stats.NewTable("Ablation G — full-map vs limited-pointer (Dir_k_B) directory (ocean)",
+		"directory", "bits/block", "protocol", "Mcycles", "traffic MB", "invals sent")
+	for _, k := range []int{0, 1, 2, 4} {
+		label := "full map"
+		if k > 0 {
+			label = fmt.Sprintf("Dir_%d_B", k)
+		}
+		for _, proto := range []coherence.Protocol{coherence.WTI, coherence.WBMESI} {
+			spec, err := BuildSpec(Run{
+				Bench: Ocean, Protocol: proto, Arch: mem.Arch2, NumCPUs: n,
+			}, sc)
+			if err != nil {
+				return nil, err
+			}
+			cfg := core.DefaultConfig(proto, mem.Arch2, n)
+			cfg.Mem.DirPointers = k
+			sys, err := core.Build(cfg, spec.Image)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sys.Run()
+			if err != nil {
+				return nil, err
+			}
+			sys.FlushCaches()
+			if err := spec.Check(sys.Space); err != nil {
+				return nil, fmt.Errorf("exp: dir k=%d %v: %w", k, proto, err)
+			}
+			var invals uint64
+			for _, m := range res.Mem {
+				invals += m.InvalsSent + m.UpdatesSent
+			}
+			t.AddRow(label, dirBitsPerBlock(n, k), proto.String(),
+				res.MegaCycles(), float64(res.TrafficBytes())/1e6, invals)
+		}
+	}
+	return t, nil
+}

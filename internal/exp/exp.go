@@ -1,0 +1,168 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation section, plus the repository's own ablations. cmd/sweep
+// and the top-level benchmarks are thin wrappers around it.
+//
+// Experiment index (see DESIGN.md for the full mapping):
+//
+//	Table1    — per-request hop costs of both protocols (directed probes)
+//	Table2    — simulated platform characteristics
+//	Fig4      — execution time, Ocean & Water × arch × protocol × n
+//	Fig5      — total NoC traffic in bytes, same grid
+//	Fig6      — data-cache stall share, same grid
+//	AblationMesh        — GMN crossbar model vs real 2D-mesh routers
+//	AblationStrictSC    — paper's posted write buffer vs strict SC stores
+//	AblationBestWorst   — protocol best/worst-case synthetic workloads
+//	AblationWriteUpdate — WTI/WTU/WB three-way comparison
+//	AblationC2C         — MESI cache-to-cache transfers
+//	AblationScale       — WTI/WB ratio vs compute per barrier
+//	AblationDirLimited  — full-map vs limited-pointer directories
+//	AblationBus         — shared bus vs NoC (the paper's premise)
+//	AblationWays        — cache associativity at fixed capacity
+//	AblationMOESI       — write-back family: MESI, MESI+C2C, MOESI
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// Scale sets the per-processor-constant workload sizes. The paper runs
+// SPLASH-2 to completion over hundreds of megacycles; Default keeps
+// the same shape at simulation-friendly sizes, Quick is for tests.
+type Scale struct {
+	OceanRows  int // rows per thread
+	OceanIters int
+	WaterMols  int // molecules per thread
+	WaterSteps int
+	LURows     int // matrix rows per thread (extension workload)
+}
+
+// DefaultScale is used by cmd/sweep and the benchmarks.
+func DefaultScale() Scale {
+	return Scale{OceanRows: 4, OceanIters: 4, WaterMols: 3, WaterSteps: 3, LURows: 3}
+}
+
+// QuickScale keeps tests fast.
+func QuickScale() Scale {
+	return Scale{OceanRows: 2, OceanIters: 2, WaterMols: 2, WaterSteps: 2, LURows: 2}
+}
+
+// Bench names the application driven through the platform.
+type Bench string
+
+// The two applications of the paper's evaluation, plus the LU
+// extension workload.
+const (
+	Ocean Bench = "ocean"
+	Water Bench = "water"
+	LU    Bench = "lu"
+)
+
+// Run describes one simulation point of the Figure 4–6 grid.
+type Run struct {
+	Bench    Bench
+	Protocol coherence.Protocol
+	Arch     mem.Arch
+	NumCPUs  int
+
+	NoC      core.NoCKind
+	StrictSC bool
+	C2C      bool // MESI cache-to-cache transfers
+}
+
+// Key renders the point compactly for table rows and caches.
+func (r Run) Key() string {
+	return fmt.Sprintf("%s/%v/%v/n%d", r.Bench, r.Protocol, r.Arch, r.NumCPUs)
+}
+
+// schedModeFor pairs the architectures with their kernels as the paper
+// does: Architecture 1 runs the SMP kernel, Architecture 2 the DS one.
+func schedModeFor(arch mem.Arch) codegen.SchedMode {
+	if arch == mem.Arch1 {
+		return codegen.SMP
+	}
+	return codegen.DS
+}
+
+// BuildSpec builds the workload image for one run point.
+func BuildSpec(r Run, sc Scale) (*workload.Spec, error) {
+	l := mem.DefaultLayout(r.NumCPUs)
+	mode := schedModeFor(r.Arch)
+	switch r.Bench {
+	case Ocean:
+		return workload.BuildOcean(l, mode, workload.OceanParams{
+			Threads: r.NumCPUs, RowsPerThread: sc.OceanRows, Iters: sc.OceanIters,
+		})
+	case Water:
+		return workload.BuildWater(l, mode, workload.WaterParams{
+			Threads: r.NumCPUs, MolsPerThread: sc.WaterMols, Steps: sc.WaterSteps,
+		})
+	case LU:
+		rows := sc.LURows
+		if rows == 0 {
+			rows = 3
+		}
+		return workload.BuildLU(l, mode, workload.LUParams{
+			Threads: r.NumCPUs, RowsPerThread: rows,
+		})
+	default:
+		return nil, fmt.Errorf("exp: unknown bench %q", r.Bench)
+	}
+}
+
+// Execute builds, runs, and verifies one run point.
+func Execute(r Run, sc Scale) (*core.Result, error) {
+	spec, err := BuildSpec(r, sc)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig(r.Protocol, r.Arch, r.NumCPUs)
+	cfg.NoC = r.NoC
+	cfg.Mem.StrictSC = r.StrictSC
+	cfg.Mem.CacheToCache = r.C2C
+	sys, err := core.Build(cfg, spec.Image)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", r.Key(), err)
+	}
+	sys.FlushCaches()
+	if spec.Check != nil {
+		if err := spec.Check(sys.Space); err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", r.Key(), err)
+		}
+	}
+	return res, nil
+}
+
+// Grid runs the full Figure 4–6 grid (both benches and architectures,
+// both protocols, the given CPU counts) and returns results keyed by
+// run point. Every run is verified against its host reference.
+func Grid(sizes []int, sc Scale) (map[Run]*core.Result, error) {
+	out := make(map[Run]*core.Result)
+	for _, bench := range []Bench{Ocean, Water} {
+		for _, arch := range []mem.Arch{mem.Arch1, mem.Arch2} {
+			for _, proto := range []coherence.Protocol{coherence.WTI, coherence.WBMESI} {
+				for _, n := range sizes {
+					r := Run{Bench: bench, Protocol: proto, Arch: arch, NumCPUs: n}
+					res, err := Execute(r, sc)
+					if err != nil {
+						return nil, err
+					}
+					out[r] = res
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// PaperSizes is the paper's processor-count axis (Table 2).
+func PaperSizes() []int { return []int{4, 16, 32, 64} }

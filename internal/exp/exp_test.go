@@ -1,0 +1,263 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/mem"
+)
+
+func TestTable1WTI(t *testing.T) {
+	tb, err := Table1(coherence.WTI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string][]string{}
+	for _, r := range tb.Rows() {
+		rows[r[0]] = r
+	}
+	// Paper's Table 1 WTI column: read hit 0, read miss 2 (dirty does
+	// not exist), writes non-blocking.
+	expectPath := map[string]string{
+		"read hit":                     "0",
+		"read miss (clean)":            "2",
+		"read miss (remote dirty)":     "2",
+		"write miss (no sharers)":      "2",
+		"write miss (2 sharers)":       "4",
+		"write hit S (1 other sharer)": "4",
+	}
+	for name, want := range expectPath {
+		r, ok := rows[name]
+		if !ok {
+			t.Fatalf("missing row %q", name)
+		}
+		if r[2] != want {
+			t.Errorf("%s: path hops = %s, want %s", name, r[2], want)
+		}
+	}
+	// Every WTI write is non-blocking (blocking cycles 0).
+	for _, name := range []string{"write miss (no sharers)", "write miss (2 sharers)",
+		"write hit S (1 other sharer)", "write hit E", "write hit M"} {
+		if rows[name][3] != "0" {
+			t.Errorf("%s: blocking = %s, want 0 (WTI writes are posted)", name, rows[name][3])
+		}
+	}
+}
+
+func TestTable1WB(t *testing.T) {
+	tb, err := Table1(coherence.WBMESI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string][]string{}
+	for _, r := range tb.Rows() {
+		rows[r[0]] = r
+	}
+	expectPath := map[string]string{
+		"read hit":                     "0",
+		"read miss (clean)":            "2",
+		"read miss (remote dirty)":     "4",
+		"write miss (no sharers)":      "2",
+		"write miss (2 sharers)":       "4",
+		"write hit S (1 other sharer)": "4",
+		"write hit E":                  "0",
+		"write hit M":                  "0",
+	}
+	for name, want := range expectPath {
+		if rows[name][2] != want {
+			t.Errorf("%s: path hops = %s, want %s", name, rows[name][2], want)
+		}
+	}
+	// MESI writes that need the directory block the processor.
+	for _, name := range []string{"write miss (no sharers)", "write miss (2 sharers)",
+		"write hit S (1 other sharer)", "read miss (remote dirty)"} {
+		if rows[name][3] == "0" {
+			t.Errorf("%s: blocking = 0, want > 0 (MESI exclusivity blocks)", name)
+		}
+	}
+	// E/M hits are free.
+	for _, name := range []string{"write hit E", "write hit M", "read hit"} {
+		if rows[name][1] != "0" || rows[name][3] != "0" {
+			t.Errorf("%s: not free: %v", name, rows[name])
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tb := Table2([]int{4, 64})
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	r := tb.Rows()[1]
+	if r[0] != "64" || r[1] != "2" || r[2] != "67" {
+		t.Fatalf("64-cpu row = %v", r)
+	}
+}
+
+func TestGridAndFiguresQuick(t *testing.T) {
+	sizes := []int{2, 4}
+	grid, err := Grid(sizes, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 2*2*2*len(sizes) {
+		t.Fatalf("grid has %d entries", len(grid))
+	}
+	f4 := Fig4(grid, sizes)
+	f5 := Fig5(grid, sizes)
+	f6 := Fig6(grid, sizes)
+	if f4.NumRows() != 8 || f5.NumRows() != 8 || f6.NumRows() != 8 {
+		t.Fatalf("figure rows: %d %d %d", f4.NumRows(), f5.NumRows(), f6.NumRows())
+	}
+	// Shape check (paper section 6): the protocols stay within the
+	// same order of magnitude in both time and traffic.
+	for _, r := range grid {
+		if r.Cycles == 0 || r.TrafficBytes() == 0 {
+			t.Fatal("empty result in grid")
+		}
+	}
+	for _, cell := range [][2]Run{
+		{{Bench: Ocean, Protocol: coherence.WTI, Arch: mem.Arch2, NumCPUs: 4},
+			{Bench: Ocean, Protocol: coherence.WBMESI, Arch: mem.Arch2, NumCPUs: 4}},
+		{{Bench: Water, Protocol: coherence.WTI, Arch: mem.Arch2, NumCPUs: 4},
+			{Bench: Water, Protocol: coherence.WBMESI, Arch: mem.Arch2, NumCPUs: 4}},
+	} {
+		wti, wb := grid[cell[0]], grid[cell[1]]
+		ratio := float64(wti.Cycles) / float64(wb.Cycles)
+		if ratio < 0.1 || ratio > 10 {
+			t.Errorf("%s: WTI/WB time ratio %.2f out of band", cell[0].Key(), ratio)
+		}
+		tr := float64(wti.TrafficBytes()) / float64(wb.TrafficBytes())
+		if tr < 0.1 || tr > 10 {
+			t.Errorf("%s: WTI/WB traffic ratio %.2f out of band", cell[0].Key(), tr)
+		}
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation runs")
+	}
+	meshT, err := AblationMesh(4, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meshT.NumRows() != 2 {
+		t.Fatalf("mesh rows = %d", meshT.NumRows())
+	}
+	strictT, err := AblationStrictSC(4, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strictT.NumRows() != 2 {
+		t.Fatalf("strict rows = %d", strictT.NumRows())
+	}
+	bw, err := AblationBestWorst(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw.NumRows() != 2 {
+		t.Fatalf("bestworst rows = %d", bw.NumRows())
+	}
+}
+
+func TestExecuteVerifiesResults(t *testing.T) {
+	// Execute must propagate the host-reference verification.
+	res, err := Execute(Run{
+		Bench: Ocean, Protocol: coherence.WBMESI, Arch: mem.Arch1, NumCPUs: 2,
+	}, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataStallPercent() <= 0 || res.DataStallPercent() >= 100 {
+		t.Fatalf("stall%% = %v", res.DataStallPercent())
+	}
+}
+
+func TestAblationBusShowsTheCrossover(t *testing.T) {
+	// The paper's thesis in one assertion: WTI's position relative to
+	// WB must be strictly worse on the shared bus than on the NoC.
+	tb, err := AblationBus([]int{4}, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	var busRatio, nocRatio float64
+	for _, r := range tb.Rows() {
+		var v float64
+		if _, err := fmt.Sscanf(r[4], "%f", &v); err != nil {
+			t.Fatal(err)
+		}
+		if r[0] == "bus" {
+			busRatio = v
+		} else {
+			nocRatio = v
+		}
+	}
+	if busRatio <= nocRatio {
+		t.Fatalf("WTI/WB ratio on bus (%.2f) not worse than on NoC (%.2f)", busRatio, nocRatio)
+	}
+}
+
+func TestAblationDirLimitedQuick(t *testing.T) {
+	tb, err := AblationDirLimited(4, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 8 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+}
+
+func TestAblationScaleQuick(t *testing.T) {
+	tb, err := AblationScale(4, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+}
+
+func TestAblationWriteUpdateQuick(t *testing.T) {
+	tb, err := AblationWriteUpdate(4, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 6 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+}
+
+func TestAblationC2CQuick(t *testing.T) {
+	tb, err := AblationC2C(4, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+}
+
+func TestAblationWaysQuick(t *testing.T) {
+	tb, err := AblationWays(4, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 6 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+}
+
+func TestAblationMOESIQuick(t *testing.T) {
+	tb, err := AblationMOESI(4, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 6 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+}

@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// figRow looks up the WTI and WB results for one (bench, arch, n) cell.
+func figRow(grid map[Run]*core.Result, bench Bench, arch mem.Arch, n int) (wti, wb *core.Result) {
+	wti = grid[Run{Bench: bench, Protocol: coherence.WTI, Arch: arch, NumCPUs: n}]
+	wb = grid[Run{Bench: bench, Protocol: coherence.WBMESI, Arch: arch, NumCPUs: n}]
+	return wti, wb
+}
+
+// forEachCell iterates the figure grid in the paper's presentation
+// order (Ocean before Water, Architecture 1 before 2, n ascending).
+func forEachCell(grid map[Run]*core.Result, sizes []int,
+	f func(bench Bench, arch mem.Arch, n int, wti, wb *core.Result)) {
+	for _, bench := range []Bench{Ocean, Water} {
+		for _, arch := range []mem.Arch{mem.Arch1, mem.Arch2} {
+			for _, n := range sizes {
+				wti, wb := figRow(grid, bench, arch, n)
+				if wti == nil || wb == nil {
+					continue
+				}
+				f(bench, arch, n, wti, wb)
+			}
+		}
+	}
+}
+
+// Fig4 renders execution time in megacycles for every grid point —
+// the paper's Figure 4. The paper's observations to compare against:
+// WTI ≈ WB on both architectures, and Architecture 2 (DS) up to ~30%
+// faster on Ocean with the gap growing with n.
+func Fig4(grid map[Run]*core.Result, sizes []int) *stats.Table {
+	t := stats.NewTable("Figure 4 — execution time (megacycles)",
+		"bench", "arch", "cpus", "WTI", "WB", "WTI/WB")
+	forEachCell(grid, sizes, func(bench Bench, arch mem.Arch, n int, wti, wb *core.Result) {
+		t.AddRow(string(bench), arch.String(), n,
+			wti.MegaCycles(), wb.MegaCycles(),
+			stats.Ratio(wti.MegaCycles(), wb.MegaCycles()))
+	})
+	return t
+}
+
+// Fig5 renders total NoC traffic in bytes — the paper's Figure 5. The
+// paper's observation: same order of magnitude for both protocols, no
+// systematic winner.
+func Fig5(grid map[Run]*core.Result, sizes []int) *stats.Table {
+	t := stats.NewTable("Figure 5 — total NoC traffic (bytes)",
+		"bench", "arch", "cpus", "WTI", "WB", "WTI/WB")
+	forEachCell(grid, sizes, func(bench Bench, arch mem.Arch, n int, wti, wb *core.Result) {
+		t.AddRow(string(bench), arch.String(), n,
+			wti.TrafficBytes(), wb.TrafficBytes(),
+			stats.Ratio(float64(wti.TrafficBytes()), float64(wb.TrafficBytes())))
+	})
+	return t
+}
+
+// Fig6 renders the percentage of data-cache stall cycles — the paper's
+// Figure 6. The paper's observation: both protocols nearly identical;
+// Architecture 1 stalls more; ~70% at 32+ CPUs on Architecture 1.
+func Fig6(grid map[Run]*core.Result, sizes []int) *stats.Table {
+	t := stats.NewTable("Figure 6 — data-cache stall cycles (% of execution)",
+		"bench", "arch", "cpus", "WTI%", "WB%")
+	forEachCell(grid, sizes, func(bench Bench, arch mem.Arch, n int, wti, wb *core.Result) {
+		t.AddRow(string(bench), arch.String(), n,
+			wti.DataStallPercent(), wb.DataStallPercent())
+	})
+	return t
+}

@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// AblationMOESI compares the write-back family: plain MESI (the
+// paper's), MESI with cache-to-cache transfers, and MOESI (Owned
+// state: dirty blocks are shared and supplied by their owner without
+// memory refreshes). The paper observes that every proposed protocol
+// optimization keeps blocks dirty in caches — MOESI is the canonical
+// endpoint of that design direction.
+func AblationMOESI(n int, sc Scale) (*stats.Table, error) {
+	t := stats.NewTable("Ablation J — write-back family: MESI vs MESI+C2C vs MOESI",
+		"bench", "variant", "Mcycles", "traffic MB", "writebacks", "c2c xfers")
+	variants := []struct {
+		name  string
+		proto coherence.Protocol
+		c2c   bool
+	}{
+		{"MESI", coherence.WBMESI, false},
+		{"MESI+C2C", coherence.WBMESI, true},
+		{"MOESI", coherence.MOESI, true},
+	}
+	for _, bench := range []Bench{Ocean, Water} {
+		for _, v := range variants {
+			spec, err := BuildSpec(Run{
+				Bench: bench, Protocol: v.proto, Arch: mem.Arch2, NumCPUs: n,
+			}, sc)
+			if err != nil {
+				return nil, err
+			}
+			cfg := core.DefaultConfig(v.proto, mem.Arch2, n)
+			cfg.Mem.CacheToCache = v.c2c
+			sys, err := core.Build(cfg, spec.Image)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sys.Run()
+			if err != nil {
+				return nil, err
+			}
+			sys.FlushCaches()
+			if err := spec.Check(sys.Space); err != nil {
+				return nil, err
+			}
+			var wbs, c2c uint64
+			for i := range res.DCache {
+				wbs += res.DCache[i].Writebacks
+				c2c += res.DCache[i].C2CTransfers
+			}
+			t.AddRow(string(bench), v.name, res.MegaCycles(),
+				float64(res.TrafficBytes())/1e6, wbs, c2c)
+		}
+	}
+	return t, nil
+}

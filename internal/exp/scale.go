@@ -1,0 +1,38 @@
+package exp
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// AblationScale sweeps the compute-per-synchronization ratio (Ocean
+// rows per thread) on the centralized architecture and reports the
+// WTI/WB execution-time ratio. This is the honest caveat of any scaled-
+// down reproduction: the paper runs full SPLASH-2 inputs with far more
+// work between barriers than simulation-friendly sizes allow, and the
+// WB-MESI penalty of blocking exclusivity on contended synchronization
+// variables shrinks as real work grows around it. The sweep makes that
+// dependence a measured curve instead of a footnote.
+func AblationScale(n int, rowsList []int) (*stats.Table, error) {
+	t := stats.NewTable("Ablation F — WTI/WB ratio vs compute per barrier (ocean, arch1/SMP)",
+		"rows/thread", "cpus", "WTI Mcyc", "WB Mcyc", "WTI/WB")
+	for _, rows := range rowsList {
+		sc := Scale{OceanRows: rows, OceanIters: 3, WaterMols: 2, WaterSteps: 2}
+		wti, err := Execute(Run{
+			Bench: Ocean, Protocol: coherence.WTI, Arch: mem.Arch1, NumCPUs: n,
+		}, sc)
+		if err != nil {
+			return nil, err
+		}
+		wb, err := Execute(Run{
+			Bench: Ocean, Protocol: coherence.WBMESI, Arch: mem.Arch1, NumCPUs: n,
+		}, sc)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(rows, n, wti.MegaCycles(), wb.MegaCycles(),
+			stats.Ratio(wti.MegaCycles(), wb.MegaCycles()))
+	}
+	return t, nil
+}

@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// AblationWays sweeps cache associativity at fixed capacity (the
+// paper's Table 2 platforms are direct-mapped; it calls cache area "an
+// important trade off"). Higher associativity removes conflict misses
+// for both protocols; the interesting question is whether it moves the
+// WTI/WB comparison. Miss rates and times are reported per way count.
+func AblationWays(n int, sc Scale) (*stats.Table, error) {
+	t := stats.NewTable("Ablation I — cache associativity at fixed 4KB capacity (ocean)",
+		"ways", "protocol", "Mcycles", "load miss rate", "traffic MB")
+	for _, ways := range []int{1, 2, 4} {
+		for _, proto := range []coherence.Protocol{coherence.WTI, coherence.WBMESI} {
+			spec, err := BuildSpec(Run{
+				Bench: Ocean, Protocol: proto, Arch: mem.Arch2, NumCPUs: n,
+			}, sc)
+			if err != nil {
+				return nil, err
+			}
+			cfg := core.DefaultConfig(proto, mem.Arch2, n)
+			cfg.Mem.Ways = ways
+			sys, err := core.Build(cfg, spec.Image)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sys.Run()
+			if err != nil {
+				return nil, err
+			}
+			sys.FlushCaches()
+			if err := spec.Check(sys.Space); err != nil {
+				return nil, err
+			}
+			t.AddRow(ways, proto.String(), res.MegaCycles(),
+				res.LoadMissRate(), float64(res.TrafficBytes())/1e6)
+		}
+	}
+	return t, nil
+}

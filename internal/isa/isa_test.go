@@ -1,0 +1,185 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTripAllOps(t *testing.T) {
+	for _, op := range AllOps() {
+		in := Instr{Op: op, Rd: 5, Rs1: 7, Rs2: 9, Imm: -12}
+		in = Canonical(in)
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", op, err)
+		}
+		got := Decode(w)
+		if got != in {
+			t.Fatalf("%v: roundtrip %+v -> %#08x -> %+v", op, in, w, got)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	ops := AllOps()
+	f := func(opIdx uint16, rd, rs1, rs2 uint8, imm int32) bool {
+		in := Instr{
+			Op:  ops[int(opIdx)%len(ops)],
+			Rd:  rd % 32,
+			Rs1: rs1 % 32,
+			Rs2: rs2 % 32,
+		}
+		switch in.Op.Class() {
+		case ClassI:
+			in.Imm = imm % (ImmIMax + 1)
+		case ClassJ:
+			in.Imm = imm % (ImmJMax + 1)
+		}
+		in = Canonical(in)
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		return Decode(w) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeNeverPanicsProperty(t *testing.T) {
+	// Every 32-bit word must decode to something (possibly OpInvalid)
+	// without panicking, and valid decodes must re-encode to an
+	// equivalent instruction.
+	f := func(w uint32) bool {
+		in := Decode(w)
+		if in.Op == OpInvalid {
+			return true
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		return Decode(w2) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	cases := []Instr{
+		{Op: OpAddi, Rd: 1, Imm: ImmIMax + 1},
+		{Op: OpAddi, Rd: 1, Imm: ImmIMin - 1},
+		{Op: OpJal, Imm: ImmJMax + 1},
+		{Op: OpAdd, Rd: 32},
+		{Op: OpAdd, Rs1: 99},
+		{Op: OpInvalid},
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestOpByNameCoversAllOps(t *testing.T) {
+	for _, op := range AllOps() {
+		got, ok := OpByName(op.Name())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v", op.Name(), got, ok)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName accepted a bogus mnemonic")
+	}
+}
+
+func TestOpClassFlags(t *testing.T) {
+	cases := []struct {
+		op            Op
+		memory, store bool
+		branch        bool
+	}{
+		{OpLw, true, false, false},
+		{OpSw, true, true, false},
+		{OpSwap, true, true, false},
+		{OpFlw, true, false, false},
+		{OpFsw, true, true, false},
+		{OpBeq, false, false, true},
+		{OpJal, false, false, true},
+		{OpJalr, false, false, true},
+		{OpAdd, false, false, false},
+		{OpHalt, false, false, false},
+	}
+	for _, c := range cases {
+		if c.op.IsMemory() != c.memory {
+			t.Errorf("%v.IsMemory() = %v", c.op, c.op.IsMemory())
+		}
+		if c.op.IsStore() != c.store {
+			t.Errorf("%v.IsStore() = %v", c.op, c.op.IsStore())
+		}
+		if c.op.IsBranch() != c.branch {
+			t.Errorf("%v.IsBranch() = %v", c.op, c.op.IsBranch())
+		}
+	}
+}
+
+func TestImmediateSignExtension(t *testing.T) {
+	w := MustEncode(Instr{Op: OpAddi, Rd: 1, Rs1: 2, Imm: -1})
+	if got := Decode(w); got.Imm != -1 {
+		t.Fatalf("imm decoded to %d, want -1", got.Imm)
+	}
+	w = MustEncode(Instr{Op: OpJal, Imm: -100})
+	if got := Decode(w); got.Imm != -100 {
+		t.Fatalf("jal imm decoded to %d, want -100", got.Imm)
+	}
+}
+
+func TestDisasmMentionsOperands(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want []string
+	}{
+		{Instr{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, []string{"add", "r1", "r2", "r3"}},
+		{Instr{Op: OpLw, Rd: 4, Rs1: 29, Imm: 16}, []string{"lw", "r4", "16(r29)"}},
+		{Instr{Op: OpFadd, Rd: 1, Rs1: 2, Rs2: 3}, []string{"fadd", "f1", "f2", "f3"}},
+		{Instr{Op: OpBeq, Rs1: 1, Rd: 2, Imm: 4}, []string{"beq", "r1", "r2"}},
+		{Instr{Op: OpHalt}, []string{"halt"}},
+		{Instr{Op: OpInvalid}, []string{"invalid"}},
+	}
+	for _, c := range cases {
+		s := Disasm(c.in, 0x1000)
+		for _, want := range c.want {
+			if !strings.Contains(s, want) {
+				t.Errorf("Disasm(%+v) = %q, missing %q", c.in, s, want)
+			}
+		}
+	}
+}
+
+func TestDisasmRandomValidWordsNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		w := rng.Uint32()
+		in := Decode(w)
+		_ = Disasm(in, rng.Uint32()&^3)
+	}
+}
+
+func TestCanonicalClearsUnusedFields(t *testing.T) {
+	in := Canonical(Instr{Op: OpHalt, Rd: 3, Rs1: 4, Rs2: 5, Imm: 6})
+	if in.Rd != 0 || in.Rs1 != 0 || in.Rs2 != 0 {
+		t.Fatalf("J-type canonical kept register fields: %+v", in)
+	}
+	in = Canonical(Instr{Op: OpAdd, Rd: 3, Imm: 6})
+	if in.Imm != 0 {
+		t.Fatalf("R-type canonical kept immediate: %+v", in)
+	}
+	in = Canonical(Instr{Op: OpAddi, Rd: 3, Rs2: 9, Imm: 6})
+	if in.Rs2 != 0 {
+		t.Fatalf("I-type canonical kept rs2: %+v", in)
+	}
+}

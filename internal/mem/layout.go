@@ -1,0 +1,118 @@
+package mem
+
+// Layout is the standard address-space layout shared by every workload.
+// The same virtual layout is used under both architectures; only the
+// AddrMap built from it differs, which is exactly the experimental knob
+// of the paper's Figure 3.
+type Layout struct {
+	CodeBase    uint32 // start of the (read-only) code segment
+	CodeSize    uint32
+	SharedBase  uint32 // shared static + dynamic data
+	SharedSize  uint32
+	PrivateBase uint32 // first CPU's private segment (locals + stack)
+	PrivateSize uint32 // per-CPU private segment size
+	NumCPUs     int
+}
+
+// DefaultLayout returns the layout used by all experiments for n CPUs.
+func DefaultLayout(n int) Layout {
+	return Layout{
+		CodeBase:    0x0000_1000,
+		CodeSize:    0x0004_0000, // 256 KiB of code
+		SharedBase:  0x0020_0000,
+		SharedSize:  0x0100_0000, // 16 MiB shared
+		PrivateBase: 0x4000_0000,
+		PrivateSize: 0x0004_0000, // 256 KiB per CPU
+		NumCPUs:     n,
+	}
+}
+
+// PrivateSeg returns the base of CPU i's private segment.
+func (l Layout) PrivateSeg(cpu int) uint32 {
+	return l.PrivateBase + uint32(cpu)*l.PrivateSize
+}
+
+// StackTop returns the initial stack pointer of CPU i (stacks grow
+// down from the top of the private segment; the top 16 bytes are kept
+// free as a landing zone).
+func (l Layout) StackTop(cpu int) uint32 {
+	return l.PrivateSeg(cpu) + l.PrivateSize - 16
+}
+
+// Arch identifies one of the paper's two platform organizations.
+type Arch int
+
+// The two modelled architectures of the paper's Figure 3.
+const (
+	// Arch1 is the centralized organization: two banks, with all
+	// shared data, local data and every thread stack in bank 0 and the
+	// code in bank 1 — the maximum-contention configuration run with
+	// the SMP kernel.
+	Arch1 Arch = 1
+	// Arch2 is the distributed organization: one private bank per CPU
+	// holding its stack and local data, plus three shared banks over
+	// which shared data (and code) are block-interleaved — run with
+	// the decentralized-scheduling kernel.
+	Arch2 Arch = 2
+)
+
+// String implements fmt.Stringer.
+func (a Arch) String() string {
+	if a == Arch1 {
+		return "arch1"
+	}
+	return "arch2"
+}
+
+// NumBanks returns the paper's bank count for the architecture: 2 for
+// Arch1 and n+3 for Arch2 (Table 2: m ∈ {2, n+3}).
+func (a Arch) NumBanks(n int) int {
+	if a == Arch1 {
+		return 2
+	}
+	return n + 3
+}
+
+// SharedInterleaveGranule is the block-interleaving granule used for
+// the shared region of Architecture 2.
+const SharedInterleaveGranule = 64
+
+// BuildMap constructs the AddrMap realizing the architecture over the
+// given layout.
+func (a Arch) BuildMap(l Layout) *AddrMap {
+	n := l.NumCPUs
+	m := NewAddrMap(a.NumBanks(n))
+	switch a {
+	case Arch1:
+		// Bank 0: shared data and every private segment. Bank 1: code.
+		m.AddRegion(Region{Name: "code", Base: l.CodeBase, Size: l.CodeSize, Banks: []int{1}})
+		m.AddRegion(Region{Name: "shared", Base: l.SharedBase, Size: l.SharedSize, Banks: []int{0}})
+		m.AddRegion(Region{
+			Name:  "private",
+			Base:  l.PrivateBase,
+			Size:  uint32(n) * l.PrivateSize,
+			Banks: []int{0},
+		})
+	case Arch2:
+		shared := []int{n, n + 1, n + 2}
+		m.AddRegion(Region{
+			Name: "code", Base: l.CodeBase, Size: l.CodeSize,
+			Banks: shared, Granule: SharedInterleaveGranule,
+		})
+		m.AddRegion(Region{
+			Name: "shared", Base: l.SharedBase, Size: l.SharedSize,
+			Banks: shared, Granule: SharedInterleaveGranule,
+		})
+		for cpu := 0; cpu < n; cpu++ {
+			m.AddRegion(Region{
+				Name:  "private",
+				Base:  l.PrivateSeg(cpu),
+				Size:  l.PrivateSize,
+				Banks: []int{cpu},
+			})
+		}
+	default:
+		panic("mem: unknown architecture")
+	}
+	return m
+}

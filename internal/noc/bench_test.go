@@ -1,0 +1,31 @@
+package noc
+
+import "testing"
+
+func benchNetwork(b *testing.B, n Network) {
+	b.Helper()
+	nodes := n.Nodes()
+	src := 0
+	for i := 0; i < b.N; i++ {
+		now := uint64(i)
+		n.Inject(Packet{Src: src % nodes, Dst: (src + nodes/2) % nodes, Bytes: 40}, now)
+		src++
+		n.Tick(now)
+		for node := 0; node < nodes; node++ {
+			for {
+				if _, ok := n.Deliver(node, now); !ok {
+					break
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(n.Stats().TotalBytes)/b.Elapsed().Seconds()/1e6, "MB/s")
+}
+
+func BenchmarkGMNSaturation(b *testing.B) {
+	benchNetwork(b, NewGMN(DefaultGMNConfig(16)))
+}
+
+func BenchmarkMeshSaturation(b *testing.B) {
+	benchNetwork(b, NewMesh(DefaultMeshConfig(16)))
+}

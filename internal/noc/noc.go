@@ -1,0 +1,86 @@
+// Package noc models the on-chip interconnect. Two interchangeable
+// models are provided behind the Network interface:
+//
+//   - GMN: the paper's "Generic Micro Network" — a crossbar-like
+//     interconnect with a configurable minimum transfer delay and
+//     bounded internal FIFOs, parameterised so latency and contention
+//     match a 2D mesh of the same size. This is the model used for all
+//     headline experiments, exactly as in the paper.
+//   - Mesh: a real 2D-mesh of store-and-forward routers with XY
+//     routing, used for the ablation that checks the GMN approximation
+//     does not change the study's conclusions.
+//
+// Both models serialize packets at one flit per cycle per port, give
+// per-(source,destination) FIFO ordering (which the coherence protocols
+// require), exert backpressure through bounded buffers, and account
+// traffic in bytes for the paper's Figure 5.
+package noc
+
+import "math"
+
+// FlitBytes is the payload width of one flit (one cycle of link
+// occupancy), matching a 32-bit VCI data path.
+const FlitBytes = 4
+
+// Packet is one NoC transfer. Payload is opaque to the network; Bytes
+// determines serialization time and traffic accounting.
+type Packet struct {
+	Src     int
+	Dst     int
+	Bytes   int
+	Payload any
+}
+
+// Flits returns the number of flits the packet occupies on a link.
+func (p Packet) Flits() int {
+	f := (p.Bytes + FlitBytes - 1) / FlitBytes
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// Stats aggregates network traffic counters. TotalBytes is the metric
+// of the paper's Figure 5.
+type Stats struct {
+	Packets    uint64
+	TotalFlits uint64
+	TotalBytes uint64
+	// InjectStallCycles counts cycles in which some component tried to
+	// inject and was refused (backpressure).
+	InjectStallCycles uint64
+}
+
+// Network is the interface between the protocol controllers and the
+// interconnect model.
+type Network interface {
+	// Inject offers a packet at the source port at cycle now. It
+	// reports whether the packet was accepted; rejection means the
+	// source must retry (backpressure).
+	Inject(p Packet, now uint64) bool
+	// Deliver pops the next packet that has fully arrived at node by
+	// cycle now, if any.
+	Deliver(node int, now uint64) (Packet, bool)
+	// Tick advances internal state by one cycle.
+	Tick(now uint64)
+	// Quiet reports whether no packets are in flight or queued.
+	Quiet() bool
+	// Stats returns accumulated traffic counters.
+	Stats() Stats
+	// Nodes returns the number of attached nodes.
+	Nodes() int
+}
+
+// MeshLatency returns the default minimum crossing delay, in cycles,
+// used by the GMN to mimic a 2D mesh interconnecting `nodes` endpoints:
+// the average Manhattan distance of a square k×k mesh (2k/3) times the
+// per-hop router delay, plus the fixed entry/exit overhead. This stands
+// in for the paper's (OCR-garbled) Table 2 latency formula.
+func MeshLatency(nodes, perHop, overhead int) int {
+	k := int(math.Ceil(math.Sqrt(float64(nodes))))
+	avgHops := (2*k + 2) / 3
+	if avgHops < 1 {
+		avgHops = 1
+	}
+	return avgHops*perHop + overhead
+}

@@ -1,0 +1,82 @@
+// Package sim provides the cycle-stepped simulation kernel used by every
+// hardware model in this repository.
+//
+// The kernel is deliberately simple: a global cycle counter, a set of
+// Tickers advanced once per cycle in registration order, and latched
+// message ports. All inter-component communication goes through ports,
+// and a message sent at cycle t becomes visible at cycle t+1 at the
+// earliest, so the relative tick order of components cannot change
+// simulation results. This is the property that makes the whole model
+// deterministic and makes the protocol comparison fair.
+package sim
+
+import "fmt"
+
+// Ticker is any component advanced once per simulated cycle.
+type Ticker interface {
+	// Tick advances the component by one cycle. now is the cycle being
+	// executed.
+	Tick(now uint64)
+}
+
+// TickFunc adapts a function to the Ticker interface.
+type TickFunc func(now uint64)
+
+// Tick implements Ticker.
+func (f TickFunc) Tick(now uint64) { f(now) }
+
+// Engine drives a set of Tickers cycle by cycle.
+type Engine struct {
+	now     uint64
+	tickers []Ticker
+	names   []string
+}
+
+// NewEngine returns an empty engine at cycle zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current cycle.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Register adds a ticker to the engine. Tickers run every cycle in
+// registration order. The name is used in diagnostics only.
+func (e *Engine) Register(name string, t Ticker) {
+	e.tickers = append(e.tickers, t)
+	e.names = append(e.names, name)
+}
+
+// Step advances the simulation by exactly one cycle.
+func (e *Engine) Step() {
+	now := e.now
+	for _, t := range e.tickers {
+		t.Tick(now)
+	}
+	e.now++
+}
+
+// ErrDeadline is returned by Run when maxCycles elapse before done()
+// reports true.
+type ErrDeadline struct {
+	Cycles uint64
+}
+
+func (e *ErrDeadline) Error() string {
+	return fmt.Sprintf("sim: deadline of %d cycles reached before completion", e.Cycles)
+}
+
+// Run advances the simulation until done() reports true, checking the
+// predicate once per cycle after all tickers have run. It returns the
+// number of cycles executed. If maxCycles is non-zero and elapses first,
+// Run stops and returns ErrDeadline.
+func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
+	start := e.now
+	for {
+		if done() {
+			return e.now - start, nil
+		}
+		if maxCycles != 0 && e.now-start >= maxCycles {
+			return e.now - start, &ErrDeadline{Cycles: maxCycles}
+		}
+		e.Step()
+	}
+}

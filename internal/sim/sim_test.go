@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineTickOrderAndCount(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Register("a", TickFunc(func(now uint64) { order = append(order, "a") }))
+	e.Register("b", TickFunc(func(now uint64) { order = append(order, "b") }))
+	e.Step()
+	e.Step()
+	want := []string{"a", "b", "a", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("got %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tick order %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 2 {
+		t.Fatalf("Now() = %d, want 2", e.Now())
+	}
+}
+
+func TestEngineRunUntilDone(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Register("c", TickFunc(func(now uint64) { count++ }))
+	cycles, err := e.Run(0, func() bool { return count >= 10 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 10 || count != 10 {
+		t.Fatalf("cycles=%d count=%d", cycles, count)
+	}
+}
+
+func TestEngineDeadline(t *testing.T) {
+	e := NewEngine()
+	_, err := e.Run(5, func() bool { return false })
+	var dl *ErrDeadline
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if dl.Cycles != 5 {
+		t.Fatalf("deadline cycles = %d", dl.Cycles)
+	}
+}
+
+func TestPortLatency(t *testing.T) {
+	p := NewPort[int](0)
+	p.Send(42, 10)
+	if _, ok := p.Recv(9); ok {
+		t.Fatal("message delivered before its cycle")
+	}
+	v, ok := p.Recv(10)
+	if !ok || v != 42 {
+		t.Fatalf("Recv = %d, %v", v, ok)
+	}
+	if _, ok := p.Recv(11); ok {
+		t.Fatal("message delivered twice")
+	}
+}
+
+func TestPortFIFOEvenWithEarlierLaterMessage(t *testing.T) {
+	// A later message with an earlier ready cycle must still wait for
+	// the head: ports are strictly FIFO.
+	p := NewPort[string](0)
+	p.Send("first", 100)
+	p.Send("second", 1)
+	if _, ok := p.Recv(50); ok {
+		t.Fatal("second message overtook the first")
+	}
+	v, _ := p.Recv(100)
+	if v != "first" {
+		t.Fatalf("head = %q", v)
+	}
+	v, ok := p.Recv(100)
+	if !ok || v != "second" {
+		t.Fatalf("second = %q, %v", v, ok)
+	}
+}
+
+func TestPortCapacity(t *testing.T) {
+	p := NewPort[int](2)
+	if !p.Send(1, 0) || !p.Send(2, 0) {
+		t.Fatal("sends within capacity failed")
+	}
+	if p.Send(3, 0) {
+		t.Fatal("send above capacity accepted")
+	}
+	if p.CanSend() {
+		t.Fatal("CanSend on a full port")
+	}
+	p.Recv(0)
+	if !p.CanSend() {
+		t.Fatal("CanSend after drain")
+	}
+}
+
+func TestPortPeek(t *testing.T) {
+	p := NewPort[int](0)
+	p.Send(7, 3)
+	if _, ok := p.Peek(2); ok {
+		t.Fatal("peek before ready")
+	}
+	v, ok := p.Peek(3)
+	if !ok || v != 7 {
+		t.Fatalf("peek = %d, %v", v, ok)
+	}
+	if p.Len() != 1 {
+		t.Fatal("peek consumed the message")
+	}
+}
+
+func TestPortOrderProperty(t *testing.T) {
+	// Whatever the delivery cycles, messages come out in send order.
+	f := func(delays []uint8) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		p := NewPort[int](0)
+		for i, d := range delays {
+			p.Send(i, uint64(d))
+		}
+		var got []int
+		for now := uint64(0); now < 300; now++ {
+			for {
+				v, ok := p.Recv(now)
+				if !ok {
+					break
+				}
+				got = append(got, v)
+			}
+		}
+		if len(got) != len(delays) {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bar is one labelled value of an ASCII bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders a horizontal ASCII bar chart, scaled so the longest
+// bar spans width characters. It is how cmd/sweep approximates the
+// paper's bar figures in a terminal.
+func BarChart(title string, bars []Bar, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > max {
+			max = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "-- %s --\n", title)
+	}
+	for _, b := range bars {
+		n := 0
+		if max > 0 {
+			n = int(b.Value / max * float64(width))
+		}
+		if b.Value > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "%-*s | %-*s %.3f\n", labelW, b.Label, width, strings.Repeat("#", n), b.Value)
+	}
+	return sb.String()
+}

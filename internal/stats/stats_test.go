@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHelpers(t *testing.T) {
+	if Mega(2_500_000) != 2.5 {
+		t.Errorf("Mega = %v", Mega(2_500_000))
+	}
+	if Percent(25, 100) != 25 {
+		t.Errorf("Percent = %v", Percent(25, 100))
+	}
+	if Percent(1, 0) != 0 {
+		t.Errorf("Percent with zero whole = %v", Percent(1, 0))
+	}
+	if Ratio(6, 3) != 2 {
+		t.Errorf("Ratio = %v", Ratio(6, 3))
+	}
+	if Ratio(1, 0) != 0 {
+		t.Errorf("Ratio with zero denominator = %v", Ratio(1, 0))
+	}
+}
+
+func TestSet(t *testing.T) {
+	var s Set
+	s.Add("loads", 3)
+	s.Add("stores", 1)
+	s.Add("loads", 2)
+	if s.Get("loads") != 5 {
+		t.Fatalf("loads = %d", s.Get("loads"))
+	}
+	if s.Get("missing") != 0 {
+		t.Fatal("missing counter not zero")
+	}
+	cs := s.Counters()
+	if len(cs) != 2 || cs[0].Name != "loads" || cs[1].Name != "stores" {
+		t.Fatalf("counters = %v", cs)
+	}
+
+	var other Set
+	other.Add("stores", 4)
+	other.Add("swaps", 7)
+	s.Merge(&other)
+	if s.Get("stores") != 5 || s.Get("swaps") != 7 {
+		t.Fatalf("after merge: %s", s.String())
+	}
+	if got := s.String(); !strings.Contains(got, "loads=5") {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("x", 1)
+	tb.AddRow("longer-name", 3.14159)
+	out := tb.Render()
+	for _, want := range []string{"== demo ==", "name", "value", "longer-name", "3.142"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow(1, "x")
+	got := tb.CSV()
+	want := "a,b\n1,x\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTableFloat32Formatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(float32(1.5))
+	if got := tb.Rows()[0][0]; got != "1.500" {
+		t.Fatalf("float32 cell = %q", got)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("demo", []Bar{
+		{Label: "a", Value: 10},
+		{Label: "bb", Value: 5},
+		{Label: "c", Value: 0},
+	}, 20)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 20)) {
+		t.Fatalf("max bar not full width: %q", lines[1])
+	}
+	if strings.Count(lines[2], "#") != 10 {
+		t.Fatalf("half bar wrong: %q", lines[2])
+	}
+	if strings.Contains(lines[3], "#") {
+		t.Fatalf("zero bar drawn: %q", lines[3])
+	}
+}
+
+func TestBarChartTinyValuesVisible(t *testing.T) {
+	out := BarChart("", []Bar{{Label: "big", Value: 1000}, {Label: "tiny", Value: 0.1}}, 30)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "tiny") && !strings.Contains(line, "#") {
+			t.Fatal("non-zero value rendered with no bar")
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for i := uint64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 100 || h.Max() != 100 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	if h.Mean() != 50.5 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	// Power-of-two buckets: the p50 upper bound must be >= the true
+	// median and <= 2x it.
+	p50 := h.Percentile(50)
+	if p50 < 50 || p50 > 100 {
+		t.Fatalf("p50 bound = %d", p50)
+	}
+	if h.Percentile(100) != 100 {
+		t.Fatalf("p100 = %d", h.Percentile(100))
+	}
+	if !strings.Contains(h.String(), "n=100") {
+		t.Fatalf("String = %q", h.String())
+	}
+
+	var other Histogram
+	other.Record(1000)
+	h.Merge(&other)
+	if h.Count() != 101 || h.Max() != 1000 {
+		t.Fatal("merge lost samples")
+	}
+}
+
+func TestHistogramZeroAndHuge(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(1 << 50)
+	if h.Percentile(0) != 0 {
+		t.Fatalf("p0 = %d", h.Percentile(0))
+	}
+	if h.Percentile(99) != 1<<50 {
+		t.Fatalf("p99 = %d", h.Percentile(99))
+	}
+}

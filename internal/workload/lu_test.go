@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/mem"
+)
+
+func TestLUMatchesReference(t *testing.T) {
+	for _, proto := range []coherence.Protocol{coherence.WTI, coherence.WBMESI} {
+		for _, arch := range []mem.Arch{mem.Arch1, mem.Arch2} {
+			name := fmt.Sprintf("%v/%v", proto, arch)
+			t.Run(name, func(t *testing.T) {
+				n := 4
+				spec, err := BuildLU(mem.DefaultLayout(n), modeFor(arch),
+					LUParams{Threads: n, RowsPerThread: 3})
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				runSpec(t, spec, proto, arch, n)
+			})
+		}
+	}
+}
+
+func TestLUSingleThread(t *testing.T) {
+	spec, err := BuildLU(mem.DefaultLayout(1), modeFor(mem.Arch2),
+		LUParams{Threads: 1, RowsPerThread: 6})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	runSpec(t, spec, coherence.WTU, mem.Arch2, 1)
+}
+
+func TestLUReferenceIsFinite(t *testing.T) {
+	// The diagonally dominant input must keep the unpivoted
+	// factorization well conditioned: no NaNs or infinities.
+	want := luReference(LUParams{Threads: 4, RowsPerThread: 4})
+	for i, v := range want {
+		if v != v || v > 1e10 || v < -1e10 {
+			t.Fatalf("reference[%d] = %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// runSpec executes a built workload on the given platform and applies
+// its reference check.
+func runSpec(t *testing.T, spec *Spec, proto coherence.Protocol, arch mem.Arch, n int) *core.Result {
+	t.Helper()
+	cfg := core.DefaultConfig(proto, arch, n)
+	sys, err := core.Build(cfg, spec.Image)
+	if err != nil {
+		t.Fatalf("wire: %v", err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sys.FlushCaches()
+	if spec.Check != nil {
+		if err := spec.Check(sys.Space); err != nil {
+			t.Fatalf("check: %v", err)
+		}
+	}
+	return res
+}
+
+func modeFor(arch mem.Arch) codegen.SchedMode {
+	if arch == mem.Arch1 {
+		return codegen.SMP
+	}
+	return codegen.DS
+}
+
+func TestOceanMatchesReference(t *testing.T) {
+	for _, proto := range []coherence.Protocol{coherence.WTI, coherence.WBMESI} {
+		for _, arch := range []mem.Arch{mem.Arch1, mem.Arch2} {
+			name := fmt.Sprintf("%v/%v", proto, arch)
+			t.Run(name, func(t *testing.T) {
+				n := 4
+				spec, err := BuildOcean(mem.DefaultLayout(n), modeFor(arch),
+					OceanParams{Threads: n, RowsPerThread: 3, Iters: 3})
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				runSpec(t, spec, proto, arch, n)
+			})
+		}
+	}
+}
+
+func TestOceanSingleThread(t *testing.T) {
+	spec, err := BuildOcean(mem.DefaultLayout(1), codegen.DS,
+		OceanParams{Threads: 1, RowsPerThread: 4, Iters: 2})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	runSpec(t, spec, coherence.WBMESI, mem.Arch2, 1)
+}

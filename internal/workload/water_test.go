@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/mem"
+)
+
+func TestWaterMatchesReference(t *testing.T) {
+	for _, proto := range []coherence.Protocol{coherence.WTI, coherence.WBMESI} {
+		for _, arch := range []mem.Arch{mem.Arch1, mem.Arch2} {
+			name := fmt.Sprintf("%v/%v", proto, arch)
+			t.Run(name, func(t *testing.T) {
+				n := 4
+				spec, err := BuildWater(mem.DefaultLayout(n), modeFor(arch),
+					WaterParams{Threads: n, MolsPerThread: 4, Steps: 2})
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				runSpec(t, spec, proto, arch, n)
+			})
+		}
+	}
+}
+
+func TestWaterSingleThread(t *testing.T) {
+	spec, err := BuildWater(mem.DefaultLayout(1), modeFor(mem.Arch2),
+		WaterParams{Threads: 1, MolsPerThread: 6, Steps: 2})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	runSpec(t, spec, coherence.WTI, mem.Arch2, 1)
+}
