@@ -1,0 +1,36 @@
+# Developer entry points. `make check` is the pre-commit gate: it runs
+# the tier-1 build/test pass plus formatting, vet, and the race
+# detector over the packages whose concurrency/determinism guarantees
+# matter most (the engine and the stats primitives).
+
+GO ?= go
+
+.PHONY: all build test check fmt vet race bench sweep
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/sim/... ./internal/stats/...
+
+check: fmt vet build test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+sweep:
+	$(GO) run ./cmd/sweep -quick

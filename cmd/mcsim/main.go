@@ -17,6 +17,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -31,6 +32,10 @@ func main() {
 	verbose := flag.Bool("v", false, "per-CPU and per-bank statistics")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	traceN := flag.Int("trace", 0, "print the first N protocol messages (event log)")
+	traceRx := flag.Bool("trace-rx", false, "also log message deliveries in the event log")
+	obsTrace := flag.String("obs-trace", "", "write a Chrome/Perfetto trace-event JSON file")
+	obsInterval := flag.Uint64("obs-interval", 0, "sample system metrics every K cycles")
+	obsCSV := flag.String("obs-csv", "", "write interval samples as CSV (needs -obs-interval)")
 	dirPtrs := flag.Int("dirptrs", 0, "limited-pointer directory: 0 = full map, k = Dir_k_B")
 	rowBytes := flag.Int("rowbytes", 0, "DRAM open-page row size (0 = flat bank latency)")
 	ways := flag.Int("ways", 1, "cache associativity (Table 2: 1 = direct-mapped)")
@@ -110,11 +115,52 @@ func main() {
 		log.Fatal(err)
 	}
 	if *traceN > 0 {
-		sys.TraceMessages(os.Stderr, *traceN)
+		sys.TraceMessages(os.Stderr, *traceN, *traceRx)
+	}
+	if *obsCSV != "" && *obsInterval == 0 {
+		log.Fatal("-obs-csv requires -obs-interval")
+	}
+	// Open output files before the (possibly long) run so a bad path
+	// fails immediately instead of after the simulation finishes.
+	var rec *obs.Recorder
+	var traceFile, csvFile *os.File
+	if *obsTrace != "" {
+		if traceFile, err = os.Create(*obsTrace); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *obsCSV != "" {
+		if csvFile, err = os.Create(*obsCSV); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *obsTrace != "" || *obsInterval > 0 {
+		rec = obs.New(obs.Config{Trace: *obsTrace != "", SampleInterval: *obsInterval})
+		sys.AttachObserver(rec)
 	}
 	res, err := sys.Run()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if traceFile != nil {
+		if err := rec.WriteTrace(traceFile); err != nil {
+			log.Fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "obs: %d trace events written to %s (%d dropped)\n",
+			rec.TraceEvents(), *obsTrace, rec.TraceDropped())
+	}
+	if csvFile != nil {
+		if err := rec.Sampler().WriteCSV(csvFile); err != nil {
+			log.Fatal(err)
+		}
+		if err := csvFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "obs: %d samples written to %s\n",
+			rec.Sampler().Samples(), *obsCSV)
 	}
 	sys.FlushCaches()
 	check := "no host reference"
@@ -137,6 +183,19 @@ func main() {
 	fmt.Printf("instruction cache: %d fetches, %d misses\n", res.IFetches, res.IMisses)
 	fmt.Printf("NoC: %d packets, %d flits, inject stalls %d\n",
 		res.Net.Packets, res.Net.TotalFlits, res.Net.InjectStallCycles)
+
+	if res.Latency != nil {
+		fmt.Println("\nrequest latencies (cycles):")
+		fmt.Print(res.Latency.String())
+	}
+	if rec.Sampling() {
+		fmt.Printf("\ninterval metrics (%d samples of %d cycles):\n",
+			rec.Sampler().Samples(), *obsInterval)
+		for _, name := range []string{"ipc", "data_stall_pct", "wb_occupancy", "dir_queue"} {
+			series := rec.Sampler().Series(name)
+			fmt.Printf("%-16s %s\n", name, stats.Sparkline(series, 72))
+		}
+	}
 
 	if *verbose {
 		tc := stats.NewTable("per-CPU", "cpu", "instr", "loads", "stores", "swaps",

@@ -26,6 +26,8 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	chart := flag.Bool("chart", false, "render figure tables as ASCII bar charts too")
+	obsInterval := flag.Uint64("obs-interval", 0, "sample metrics every K cycles during figure-grid runs")
+	obsDir := flag.String("obs-dir", "", "directory for per-run interval CSVs (needs -obs-interval)")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -54,8 +56,16 @@ func main() {
 			emit(t)
 		}
 	}
+	if *obsDir != "" && *obsInterval == 0 {
+		fatal(fmt.Errorf("-obs-dir requires -obs-interval"))
+	}
+	var observe *exp.Observe
+	if *obsInterval > 0 {
+		observe = &exp.Observe{Interval: *obsInterval, Dir: *obsDir}
+	}
+
 	runFigures := func(names ...string) {
-		grid, err := exp.Grid(sizes, sc)
+		grid, err := exp.GridObserved(sizes, sc, observe)
 		if err != nil {
 			fatal(err)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // MemStats aggregates one bank's activity.
@@ -52,6 +53,9 @@ type dirEntry struct {
 	retainOwner  bool
 	c2cDone      bool
 	deferred     []*Msg
+
+	// span is the open observability span of the busy transaction.
+	span obs.SpanID
 }
 
 // MemCtrl is one memory bank: backing storage timing, the co-located
@@ -70,6 +74,16 @@ type MemCtrl struct {
 	dir       map[uint32]*dirEntry
 	busyUntil uint64
 	st        MemStats
+
+	// Obs, when attached, records directory transactions as trace
+	// spans and keeps the occupancy gauges below exact for sampling.
+	Obs *obs.Recorder
+	// busyTx counts blocks with a transaction in flight; queuedReqs
+	// counts deferred requests waiting behind busy blocks. Both are
+	// maintained unconditionally (two integer bumps) so the sampler
+	// can read bank pressure without walking the directory map.
+	busyTx     int
+	queuedReqs int
 
 	// Open-page row buffer state (Params.RowBytes > 0).
 	rowOpen bool
@@ -182,6 +196,7 @@ func (mc *MemCtrl) process(m *Msg, now uint64) {
 	e := mc.entry(blk)
 	if e.busy {
 		mc.st.Deferred++
+		mc.queuedReqs++
 		e.deferred = append(e.deferred, m)
 		return
 	}
@@ -199,7 +214,26 @@ func (mc *MemCtrl) process(m *Msg, now uint64) {
 	default:
 		panic(fmt.Sprintf("coherence: bank %d: unhandled %v", mc.bank, m))
 	}
+	// The entry was idle on dispatch, so a busy entry here means the
+	// handler just opened a multi-message transaction.
+	if e.busy {
+		mc.busyTx++
+		if mc.Obs.Tracing() {
+			e.span = mc.Obs.Begin(obs.DirPid(mc.bank), e.kind.String(), now, blk)
+		}
+	} else if mc.Obs.Tracing() {
+		// Single-message request, served and answered in this call.
+		mc.Obs.Instant(obs.DirPid(mc.bank), 0, m.Kind.String(), now, m.Addr)
+	}
 }
+
+// PendingTx reports the number of blocks with an open directory
+// transaction (observability gauge).
+func (mc *MemCtrl) PendingTx() int { return mc.busyTx }
+
+// QueuedRequests reports the requests deferred behind busy blocks
+// (observability gauge).
+func (mc *MemCtrl) QueuedRequests() int { return mc.queuedReqs }
 
 // respondData sends a block data response granting excl or shared.
 func (mc *MemCtrl) respondData(blk uint32, dst int, excl bool, now uint64) {
@@ -562,6 +596,11 @@ func (mc *MemCtrl) maybeComplete(e *dirEntry, blk uint32, now uint64) {
 // finish closes the block's transaction and replays deferred requests
 // until one of them re-blocks the entry (or none remain).
 func (mc *MemCtrl) finish(e *dirEntry, now uint64) {
+	mc.busyTx--
+	if e.span != 0 {
+		mc.Obs.End(e.span, now)
+		e.span = 0
+	}
 	e.busy = false
 	e.req = nil
 	e.kind = MsgInvalid
@@ -576,6 +615,7 @@ func (mc *MemCtrl) finish(e *dirEntry, now uint64) {
 		m := e.deferred[0]
 		copy(e.deferred, e.deferred[1:])
 		e.deferred = e.deferred[:len(e.deferred)-1]
+		mc.queuedReqs--
 		mc.process(m, now)
 	}
 }

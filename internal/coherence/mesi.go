@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // MESICache is the write-back MESI (Illinois-like) data-cache
@@ -27,6 +28,10 @@ type MESICache struct {
 	pend  mesiPending
 	evict mesiEvict
 	st    DCacheStats
+
+	// Obs, when attached, records blocking-transaction and writeback
+	// spans plus request latencies.
+	Obs *obs.Recorder
 }
 
 type mesiPending struct {
@@ -42,13 +47,15 @@ type mesiPending struct {
 	word    uint32
 	byteEn  uint8
 	swapOld uint32
-	done    bool // store/swap completed; the retry returns success
+	done    bool   // store/swap completed; the retry returns success
+	begin   uint64 // cycle the transaction started (latency attribution)
 }
 
 type mesiEvict struct {
 	active bool
 	addr   uint32
 	data   []byte
+	begin  uint64 // cycle the victim entered the buffer
 }
 
 // NewMESICache builds the write-back MESI controller for CPU id.
@@ -87,6 +94,9 @@ func (c *MESICache) Protocol() Protocol {
 // Stats implements DataCache.
 func (c *MESICache) Stats() *DCacheStats { return &c.st }
 
+// SetObserver attaches the observability recorder (nil detaches).
+func (c *MESICache) SetObserver(r *obs.Recorder) { c.Obs = r }
+
 func (c *MESICache) bankNode(addr uint32) int {
 	return c.bankBase + c.amap.BankOf(addr)
 }
@@ -103,7 +113,7 @@ func (c *MESICache) startMiss(now uint64, kind MsgKind, blk uint32) bool {
 		victim := c.arr.blockAddr(line)
 		data := make([]byte, c.p.BlockBytes)
 		copy(data, c.arr.lineData(line))
-		c.evict = mesiEvict{active: true, addr: victim, data: data}
+		c.evict = mesiEvict{active: true, addr: victim, data: data, begin: now}
 		c.arr.state[line] = Invalid
 		c.st.Writebacks++
 		// Writebacks are control-class: they must keep their place in
@@ -111,9 +121,31 @@ func (c *MESICache) startMiss(now uint64, kind MsgKind, blk uint32) bool {
 		c.node.SendCtrl(&Msg{Kind: ReqWriteBack, Src: c.id, Addr: victim, Data: data},
 			c.bankNode(victim), now)
 	}
-	c.pend = mesiPending{active: true, kind: kind, blk: blk}
+	c.pend = mesiPending{active: true, kind: kind, blk: blk, begin: now}
 	c.tryIssue(now)
 	return true
+}
+
+// completePend records the span and latency of the finishing blocking
+// transaction; the caller still owns clearing or completing c.pend.
+func (c *MESICache) completePend(now uint64, addr uint32) {
+	if c.Obs == nil {
+		return
+	}
+	var name string
+	var k obs.LatKind
+	switch {
+	case c.pend.isSwap:
+		name, k = "swap", obs.LatSwap
+	case c.pend.kind == ReqUpgrade:
+		name, k = "upgrade", obs.LatUpgrade
+	case c.pend.apply:
+		name, k = "write alloc", obs.LatWriteAlloc
+	default:
+		name, k = "read miss", obs.LatReadMiss
+	}
+	c.Obs.Span(obs.CPUPid(c.id), obs.TidDCache, name, c.pend.begin, now, addr)
+	c.Obs.Lat(k, now-c.pend.begin)
 }
 
 func (c *MESICache) tryIssue(now uint64) {
@@ -135,6 +167,7 @@ func (c *MESICache) Load(now uint64, addr uint32, byteEn uint8) (uint32, bool) {
 	if set, hit := c.arr.lookup(addr); hit {
 		c.st.Loads++
 		c.st.LoadHits++
+		c.Obs.Lat(obs.LatReadHit, 0)
 		return c.arr.readWord(set, waddr), true
 	}
 	blk := c.p.BlockAddr(addr)
@@ -163,12 +196,14 @@ func (c *MESICache) Store(now uint64, addr uint32, word uint32, byteEn uint8) bo
 			c.st.Stores++
 			c.st.StoreHits++
 			c.arr.writeWord(set, waddr, word, byteEn)
+			c.Obs.Lat(obs.LatWriteHit, 0)
 			return true
 		case Exclusive:
 			c.st.Stores++
 			c.st.StoreHits++
 			c.arr.state[set] = Modified
 			c.arr.writeWord(set, waddr, word, byteEn)
+			c.Obs.Lat(obs.LatWriteHit, 0)
 			return true
 		case Shared, Owned:
 			c.st.Stores++
@@ -177,6 +212,7 @@ func (c *MESICache) Store(now uint64, addr uint32, word uint32, byteEn uint8) bo
 			c.pend = mesiPending{
 				active: true, kind: ReqUpgrade, blk: c.p.BlockAddr(addr),
 				apply: true, waddr: waddr, word: word, byteEn: byteEn,
+				begin: now,
 			}
 			c.tryIssue(now)
 			return false
@@ -216,6 +252,7 @@ func (c *MESICache) Swap(now uint64, addr uint32, newWord uint32) (uint32, bool)
 			old := c.arr.readWord(set, waddr)
 			c.arr.writeWord(set, waddr, newWord, 0xf)
 			c.arr.state[set] = Modified
+			c.Obs.Lat(obs.LatSwap, 0)
 			return old, true
 		case Shared, Owned:
 			c.st.Swaps++
@@ -223,6 +260,7 @@ func (c *MESICache) Swap(now uint64, addr uint32, newWord uint32) (uint32, bool)
 			c.pend = mesiPending{
 				active: true, kind: ReqUpgrade, blk: c.p.BlockAddr(addr),
 				apply: true, isSwap: true, waddr: waddr, word: newWord, byteEn: 0xf,
+				begin: now,
 			}
 			c.tryIssue(now)
 			return 0, false
@@ -275,6 +313,7 @@ func (c *MESICache) HandleMsg(m *Msg, now uint64) {
 			st = Exclusive
 		}
 		set := c.arr.fill(m.Addr, st, m.Data)
+		c.completePend(now, m.Addr)
 		if c.pend.apply {
 			if !m.Excl {
 				panic(fmt.Sprintf("coherence: MESI cache %d: write allocation granted without exclusivity", c.id))
@@ -294,10 +333,15 @@ func (c *MESICache) HandleMsg(m *Msg, now uint64) {
 			// ordered after it on the same channel.
 			panic(fmt.Sprintf("coherence: MESI cache %d: upgrade ack for lost line %#x", c.id, m.Addr))
 		}
+		c.completePend(now, m.Addr)
 		c.completeWrite(set)
 	case RspWriteAck:
 		if !c.evict.active || c.evict.addr != m.Addr {
 			panic(fmt.Sprintf("coherence: MESI cache %d: stray writeback ack %v", c.id, m))
+		}
+		if c.Obs != nil {
+			c.Obs.Span(obs.CPUPid(c.id), obs.TidEvict, "writeback", c.evict.begin, now, m.Addr)
+			c.Obs.Lat(obs.LatWriteback, now-c.evict.begin)
 		}
 		c.evict = mesiEvict{}
 	case CmdInval:

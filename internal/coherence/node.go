@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -43,6 +44,10 @@ type Node struct {
 	// Trace, when non-nil, observes every message this node receives
 	// ("rx") and injects ("tx") — the protocol event log.
 	Trace func(now uint64, dir string, self, peer int, m *Msg)
+
+	// Obs, when attached, records one instant event per injected
+	// message on this port's trace track.
+	Obs *obs.Recorder
 
 	// Stats.
 	SendStallCycles uint64
@@ -104,6 +109,9 @@ func (n *Node) Tick(now uint64) {
 		}
 		if n.Trace != nil {
 			n.Trace(now, "tx", n.ID, head.dst, head.msg)
+		}
+		if n.Obs != nil {
+			n.Obs.Instant(obs.PortPid(n.ID), 0, head.msg.Kind.String(), now, head.msg.Addr)
 		}
 		n.MsgsSent++
 		n.outQ.Recv(now)

@@ -1,5 +1,7 @@
 package coherence
 
+import "repro/internal/obs"
+
 // wbEntry is one posted write: a word address, the data word, and the
 // byte-enable mask selecting which of its bytes are written.
 type wbEntry struct {
@@ -7,6 +9,9 @@ type wbEntry struct {
 	word   uint32
 	byteEn uint8
 	sent   bool // handed to the node's outbound FIFO, awaiting ack
+
+	pushedAt uint64     // cycle the entry was posted (latency attribution)
+	span     obs.SpanID // open trace span covering the entry's residency
 }
 
 // writeBuffer is the paper's 8-word posted-write buffer (Table 2). It
@@ -21,6 +26,12 @@ type writeBuffer struct {
 	entries []wbEntry
 	depth   int
 
+	// obs observability: when attached, each entry's push-to-ack
+	// residency is recorded as a trace span on the owner CPU's track
+	// and as a write_drain latency sample.
+	obs    *obs.Recorder
+	obsPid int
+
 	// Stats.
 	Pushes     uint64
 	Coalesced  uint64
@@ -29,6 +40,13 @@ type writeBuffer struct {
 
 func newWriteBuffer(depth int) *writeBuffer {
 	return &writeBuffer{depth: depth}
+}
+
+// attachObs enables observability recording against the given trace
+// process (the owner CPU's track group).
+func (w *writeBuffer) attachObs(r *obs.Recorder, pid int) {
+	w.obs = r
+	w.obsPid = pid
 }
 
 // Full reports whether no more writes can be accepted.
@@ -40,10 +58,10 @@ func (w *writeBuffer) Empty() bool { return len(w.entries) == 0 }
 // Len reports the number of occupied entries.
 func (w *writeBuffer) Len() int { return len(w.entries) }
 
-// Push posts a write. A write to the same word as the newest unsent
-// entry coalesces into it; otherwise a new entry is taken. Push reports
-// whether the write was accepted (false when full).
-func (w *writeBuffer) Push(addr uint32, word uint32, byteEn uint8) bool {
+// Push posts a write at cycle now. A write to the same word as the
+// newest unsent entry coalesces into it; otherwise a new entry is
+// taken. Push reports whether the write was accepted (false when full).
+func (w *writeBuffer) Push(now uint64, addr uint32, word uint32, byteEn uint8) bool {
 	// Coalesce only with the newest entry when unsent and same word:
 	// merging with older entries would reorder stores.
 	if n := len(w.entries); n > 0 {
@@ -64,7 +82,11 @@ func (w *writeBuffer) Push(addr uint32, word uint32, byteEn uint8) bool {
 		w.FullStalls++
 		return false
 	}
-	w.entries = append(w.entries, wbEntry{addr: addr, word: word, byteEn: byteEn})
+	e := wbEntry{addr: addr, word: word, byteEn: byteEn, pushedAt: now}
+	if w.obs.Tracing() {
+		e.span = w.obs.Begin(w.obsPid, "wb write", now, addr)
+	}
+	w.entries = append(w.entries, e)
 	w.Pushes++
 	return true
 }
@@ -81,10 +103,16 @@ func (w *writeBuffer) NextToSend() (*wbEntry, bool) {
 	return nil, false
 }
 
-// Ack retires the in-flight entry, which must match addr.
-func (w *writeBuffer) Ack(addr uint32) bool {
+// Ack retires the in-flight entry at cycle now, which must match addr,
+// recording the entry's drain latency when observability is attached.
+func (w *writeBuffer) Ack(now uint64, addr uint32) bool {
 	if len(w.entries) == 0 || !w.entries[0].sent || w.entries[0].addr != addr {
 		return false
+	}
+	head := &w.entries[0]
+	if w.obs != nil {
+		w.obs.Lat(obs.LatWriteDrain, now-head.pushedAt)
+		w.obs.End(head.span, now)
 	}
 	copy(w.entries, w.entries[1:])
 	w.entries = w.entries[:len(w.entries)-1]

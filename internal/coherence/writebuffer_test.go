@@ -7,8 +7,8 @@ import (
 
 func TestWriteBufferFIFOAndOneInFlight(t *testing.T) {
 	w := newWriteBuffer(4)
-	w.Push(0x100, 1, 0xf)
-	w.Push(0x104, 2, 0xf)
+	w.Push(0, 0x100, 1, 0xf)
+	w.Push(0, 0x104, 2, 0xf)
 	e, ok := w.NextToSend()
 	if !ok || e.addr != 0x100 {
 		t.Fatalf("NextToSend = %+v, %v", e, ok)
@@ -17,7 +17,7 @@ func TestWriteBufferFIFOAndOneInFlight(t *testing.T) {
 	if _, ok := w.NextToSend(); ok {
 		t.Fatal("second write eligible while the first is in flight")
 	}
-	if !w.Ack(0x100) {
+	if !w.Ack(0, 0x100) {
 		t.Fatal("ack rejected")
 	}
 	e, ok = w.NextToSend()
@@ -28,21 +28,21 @@ func TestWriteBufferFIFOAndOneInFlight(t *testing.T) {
 
 func TestWriteBufferAckValidation(t *testing.T) {
 	w := newWriteBuffer(4)
-	w.Push(0x100, 1, 0xf)
-	if w.Ack(0x100) {
+	w.Push(0, 0x100, 1, 0xf)
+	if w.Ack(0, 0x100) {
 		t.Fatal("ack accepted for an unsent entry")
 	}
 	e, _ := w.NextToSend()
 	e.sent = true
-	if w.Ack(0x200) {
+	if w.Ack(0, 0x200) {
 		t.Fatal("ack accepted for the wrong address")
 	}
 }
 
 func TestWriteBufferCoalescing(t *testing.T) {
 	w := newWriteBuffer(2)
-	w.Push(0x100, 0x000000aa, 0b0001)
-	w.Push(0x100, 0x0000bb00, 0b0010) // same word: coalesce
+	w.Push(0, 0x100, 0x000000aa, 0b0001)
+	w.Push(0, 0x100, 0x0000bb00, 0b0010) // same word: coalesce
 	if w.Len() != 1 {
 		t.Fatalf("Len = %d, want coalesced 1", w.Len())
 	}
@@ -51,12 +51,12 @@ func TestWriteBufferCoalescing(t *testing.T) {
 		t.Fatalf("Forward = %#x, %v", v, ok)
 	}
 	// A different word must not coalesce.
-	w.Push(0x104, 1, 0xf)
+	w.Push(0, 0x104, 1, 0xf)
 	if w.Len() != 2 {
 		t.Fatalf("Len = %d", w.Len())
 	}
 	// Coalescing with a non-newest entry would reorder: not allowed.
-	w.Push(0x100, 0xcc, 0xf)
+	w.Push(0, 0x100, 0xcc, 0xf)
 	if w.Len() != 2 && !w.Full() {
 		t.Fatalf("old-entry coalesce created odd state: len=%d", w.Len())
 	}
@@ -64,10 +64,10 @@ func TestWriteBufferCoalescing(t *testing.T) {
 
 func TestWriteBufferCapacity(t *testing.T) {
 	w := newWriteBuffer(2)
-	if !w.Push(0x100, 1, 0xf) || !w.Push(0x104, 2, 0xf) {
+	if !w.Push(0, 0x100, 1, 0xf) || !w.Push(0, 0x104, 2, 0xf) {
 		t.Fatal("pushes within capacity failed")
 	}
-	if w.Push(0x108, 3, 0xf) {
+	if w.Push(0, 0x108, 3, 0xf) {
 		t.Fatal("push above capacity accepted")
 	}
 	if w.FullStalls != 1 {
@@ -77,14 +77,14 @@ func TestWriteBufferCapacity(t *testing.T) {
 
 func TestWriteBufferForwarding(t *testing.T) {
 	w := newWriteBuffer(8)
-	w.Push(0x100, 0x11223344, 0xf)
+	w.Push(0, 0x100, 0x11223344, 0xf)
 	v, ok, conflict := w.Forward(0x100, 0xf)
 	if !ok || conflict || v != 0x11223344 {
 		t.Fatalf("full forward = %#x %v %v", v, ok, conflict)
 	}
 	// Partial coverage is a conflict, not a forward.
 	w2 := newWriteBuffer(8)
-	w2.Push(0x200, 0xaa, 0b0001)
+	w2.Push(0, 0x200, 0xaa, 0b0001)
 	if _, ok, conflict := w2.Forward(0x200, 0xf); ok || !conflict {
 		t.Fatal("partial overlap must report a conflict")
 	}
@@ -100,10 +100,10 @@ func TestWriteBufferForwarding(t *testing.T) {
 
 func TestWriteBufferNewestWins(t *testing.T) {
 	w := newWriteBuffer(8)
-	w.Push(0x100, 1, 0xf)
+	w.Push(0, 0x100, 1, 0xf)
 	e, _ := w.NextToSend()
 	e.sent = true // freeze the first entry so the second doesn't coalesce
-	w.Push(0x100, 2, 0xf)
+	w.Push(0, 0x100, 2, 0xf)
 	v, ok, _ := w.Forward(0x100, 0xf)
 	if !ok || v != 2 {
 		t.Fatalf("Forward returned %d, want the newest value 2", v)
@@ -112,7 +112,7 @@ func TestWriteBufferNewestWins(t *testing.T) {
 
 func TestWriteBufferHasUnsentInBlock(t *testing.T) {
 	w := newWriteBuffer(8)
-	w.Push(0x104, 1, 0xf)
+	w.Push(0, 0x104, 1, 0xf)
 	if !w.HasUnsentInBlock(0x100, 32) {
 		t.Fatal("unsent entry in block not found")
 	}
@@ -136,12 +136,12 @@ func TestWriteBufferProperty(t *testing.T) {
 			addr := uint32(a&0x3f) * 4
 			if n := len(want); n > 0 && want[n-1] == addr {
 				// coalesces into the newest entry
-				if !w.Push(addr, uint32(i), 0xf) {
+				if !w.Push(0, addr, uint32(i), 0xf) {
 					return false
 				}
 				continue
 			}
-			if !w.Push(addr, uint32(i), 0xf) {
+			if !w.Push(0, addr, uint32(i), 0xf) {
 				return false
 			}
 			want = append(want, addr)
@@ -154,7 +154,7 @@ func TestWriteBufferProperty(t *testing.T) {
 			}
 			e.sent = true
 			got = append(got, e.addr)
-			if !w.Ack(e.addr) {
+			if !w.Ack(0, e.addr) {
 				return false
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // WTICache is the write-through data-cache controller: a direct-mapped,
@@ -36,6 +37,10 @@ type WTICache struct {
 	pend wtiPending
 	st   DCacheStats
 
+	// Obs, when attached, records blocking-transaction spans and
+	// request latencies; the write buffer records its own drains.
+	Obs *obs.Recorder
+
 	// strictStore tracks the store blocking for its ack in StrictSC
 	// mode; strictDone reports the ack arrived and the next retry may
 	// complete.
@@ -51,6 +56,7 @@ type wtiPending struct {
 	newVal uint32 // swap operand
 	oldVal uint32 // swap result
 	done   bool   // swap completed
+	begin  uint64 // cycle the request became pending (latency attribution)
 }
 
 // NewWTICache builds the write-through invalidate controller for CPU id.
@@ -79,6 +85,15 @@ func newWriteThroughCache(id int, proto Protocol, p Params, node *Node, amap *me
 // Protocol implements DataCache.
 func (c *WTICache) Protocol() Protocol { return c.proto }
 
+// SetObserver attaches the observability recorder (nil detaches).
+func (c *WTICache) SetObserver(r *obs.Recorder) {
+	c.Obs = r
+	c.wb.attachObs(r, obs.CPUPid(c.id))
+}
+
+// WBOccupancy reports the write buffer's occupied entries (sampling).
+func (c *WTICache) WBOccupancy() int { return c.wb.Len() }
+
 // Stats implements DataCache.
 func (c *WTICache) Stats() *DCacheStats { return &c.st }
 
@@ -102,6 +117,7 @@ func (c *WTICache) Load(now uint64, addr uint32, byteEn uint8) (uint32, bool) {
 		if w, ok, conflict := c.wb.Forward(waddr, byteEn); ok {
 			c.st.Loads++
 			c.st.WBForwards++
+			c.Obs.Lat(obs.LatReadHit, 0)
 			return w, true
 		} else if conflict {
 			return 0, false // partial overlap: wait for the drain
@@ -110,12 +126,14 @@ func (c *WTICache) Load(now uint64, addr uint32, byteEn uint8) (uint32, bool) {
 	if set, hit := c.arr.lookup(addr); hit {
 		c.st.Loads++
 		c.st.LoadHits++
+		c.Obs.Lat(obs.LatReadHit, 0)
 		return c.arr.readWord(set, waddr), true
 	}
 	// Forward from the write buffer when it fully covers the access.
 	if w, ok, conflict := c.wb.Forward(waddr, byteEn); ok {
 		c.st.Loads++
 		c.st.WBForwards++
+		c.Obs.Lat(obs.LatReadHit, 0)
 		return w, true
 	} else if conflict {
 		return 0, false // partial overlap: wait for the drain
@@ -127,7 +145,7 @@ func (c *WTICache) Load(now uint64, addr uint32, byteEn uint8) (uint32, bool) {
 	if !c.pend.active {
 		c.st.Loads++
 		c.st.LoadMisses++
-		c.pend = wtiPending{active: true, addr: blk}
+		c.pend = wtiPending{active: true, addr: blk, begin: now}
 		c.tryIssue(now)
 	}
 	return 0, false
@@ -144,18 +162,19 @@ func (c *WTICache) Store(now uint64, addr uint32, word uint32, byteEn uint8) boo
 		if c.strictStore || !c.wb.Empty() {
 			return false // previous store still in flight
 		}
-		if !c.wb.Push(waddr, word, byteEn) {
+		if !c.wb.Push(now, waddr, word, byteEn) {
 			return false
 		}
 		c.recordStore(addr, waddr, word, byteEn)
 		c.strictStore = true
 		return false // completes (returns true) only after the ack
 	}
-	if !c.wb.Push(waddr, word, byteEn) {
+	if !c.wb.Push(now, waddr, word, byteEn) {
 		c.st.WBufFullStalls++
 		return false
 	}
 	c.recordStore(addr, waddr, word, byteEn)
+	c.Obs.Lat(obs.LatWriteHit, 0)
 	return true
 }
 
@@ -200,7 +219,7 @@ func (c *WTICache) Swap(now uint64, addr uint32, newWord uint32) (uint32, bool) 
 	}
 	c.st.Swaps++
 	c.arr.invalidate(waddr) // self-invalidate: the bank owns the new value
-	c.pend = wtiPending{active: true, isSwap: true, addr: waddr, newVal: newWord}
+	c.pend = wtiPending{active: true, isSwap: true, addr: waddr, newVal: newWord, begin: now}
 	c.tryIssue(now)
 	return 0, false
 }
@@ -241,9 +260,13 @@ func (c *WTICache) HandleMsg(m *Msg, now uint64) {
 			panic(fmt.Sprintf("coherence: WTI cache %d: unexpected %v", c.id, m))
 		}
 		c.arr.fill(m.Addr, Shared, m.Data)
+		if c.Obs != nil {
+			c.Obs.Span(obs.CPUPid(c.id), obs.TidDCache, "read miss", c.pend.begin, now, m.Addr)
+			c.Obs.Lat(obs.LatReadMiss, now-c.pend.begin)
+		}
 		c.pend = wtiPending{}
 	case RspWriteAck:
-		if !c.wb.Ack(m.Addr) {
+		if !c.wb.Ack(now, m.Addr) {
 			panic(fmt.Sprintf("coherence: WTI cache %d: stray write ack %v", c.id, m))
 		}
 		if c.strictStore && c.wb.Empty() {
@@ -256,6 +279,10 @@ func (c *WTICache) HandleMsg(m *Msg, now uint64) {
 		}
 		c.pend.done = true
 		c.pend.oldVal = m.Word
+		if c.Obs != nil {
+			c.Obs.Span(obs.CPUPid(c.id), obs.TidDCache, "swap", c.pend.begin, now, m.Addr)
+			c.Obs.Lat(obs.LatSwap, now-c.pend.begin)
+		}
 	case CmdInval:
 		c.st.InvalsReceived++
 		if c.arr.invalidate(m.Addr) {

@@ -3,16 +3,26 @@ package core
 import (
 	"encoding/json"
 	"io"
+
+	"repro/internal/obs"
 )
+
+// SchemaVersion identifies the ResultJSON layout. It is bumped when a
+// field changes meaning or is removed; purely additive fields do not
+// bump it. History: 1 = the original flat schema, 2 = adds
+// schema_version itself and the optional latency block.
+const SchemaVersion = 2
 
 // ResultJSON is the flattened, stable export schema for one run — the
 // machine-readable counterpart of Result.Summary, for feeding external
-// analysis or plotting tools.
+// analysis or plotting tools. See README.md ("Result JSON schema") for
+// the field-by-field description.
 type ResultJSON struct {
-	Protocol string `json:"protocol"`
-	Arch     string `json:"arch"`
-	NumCPUs  int    `json:"cpus"`
-	NoC      string `json:"noc"`
+	SchemaVersion int    `json:"schema_version"`
+	Protocol      string `json:"protocol"`
+	Arch          string `json:"arch"`
+	NumCPUs       int    `json:"cpus"`
+	NoC           string `json:"noc"`
 
 	Cycles           uint64  `json:"cycles"`
 	MegaCycles       float64 `json:"megacycles"`
@@ -33,25 +43,30 @@ type ResultJSON struct {
 	C2CTransfers     uint64  `json:"c2c_transfers"`
 	WBufFullStalls   uint64  `json:"wbuf_full_stalls"`
 	DeferredRequests uint64  `json:"deferred_requests"`
+
+	// Latency carries the per-request-type latency digests when the run
+	// was observed (omitted otherwise).
+	Latency map[string]obs.LatencySummary `json:"latency,omitempty"`
 }
 
 // JSON flattens the result into the export schema.
 func (r *Result) JSON() ResultJSON {
 	out := ResultJSON{
-		Protocol:     r.Config.Protocol.String(),
-		Arch:         r.Config.Arch.String(),
-		NumCPUs:      r.Config.NumCPUs,
-		NoC:          r.Config.NoC.String(),
-		Cycles:       r.Cycles,
-		MegaCycles:   r.MegaCycles(),
-		Instructions: r.Instructions(),
-		TrafficBytes: r.TrafficBytes(),
-		Packets:      r.Net.Packets,
-		DataStallPct: r.DataStallPercent(),
-		InstStallPct: r.InstStallPercent(),
-		LoadMissRate: r.LoadMissRate(),
-		IFetches:     r.IFetches,
-		IMisses:      r.IMisses,
+		SchemaVersion: SchemaVersion,
+		Protocol:      r.Config.Protocol.String(),
+		Arch:          r.Config.Arch.String(),
+		NumCPUs:       r.Config.NumCPUs,
+		NoC:           r.Config.NoC.String(),
+		Cycles:        r.Cycles,
+		MegaCycles:    r.MegaCycles(),
+		Instructions:  r.Instructions(),
+		TrafficBytes:  r.TrafficBytes(),
+		Packets:       r.Net.Packets,
+		DataStallPct:  r.DataStallPercent(),
+		InstStallPct:  r.InstStallPercent(),
+		LoadMissRate:  r.LoadMissRate(),
+		IFetches:      r.IFetches,
+		IMisses:       r.IMisses,
 	}
 	for i := range r.DCache {
 		d := &r.DCache[i]
@@ -68,6 +83,7 @@ func (r *Result) JSON() ResultJSON {
 		out.FetchesSent += m.FetchesSent
 		out.DeferredRequests += m.Deferred
 	}
+	out.Latency = r.Latency.Map()
 	return out
 }
 

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/obs"
+)
+
+// AttachObserver wires an observability recorder through every
+// component of the system: CPUs (stall spans), data caches and write
+// buffers (transaction spans, latency attribution), directories
+// (transaction spans, queue gauges) and NoC ports (injection markers).
+// Call it after Build and before Run; a nil recorder is a no-op, so
+// callers may pass one through unconditionally.
+//
+// When the recorder samples (Config.SampleInterval > 0) the standard
+// probe set is registered — IPC, data-stall share, write-buffer
+// occupancy, directory queue depth and per-port flit rates — and the
+// engine is scheduled to tick the sampler every interval cycles.
+func (s *System) AttachObserver(r *obs.Recorder) {
+	if r == nil {
+		return
+	}
+	s.Obs = r
+	n := len(s.CPUs)
+
+	if r.Tracing() {
+		r.NameProcess(obs.MetricsPid, "metrics", 0)
+		for i := range s.CPUs {
+			pid := obs.CPUPid(i)
+			r.NameProcess(pid, fmt.Sprintf("cpu%d", i), 10+i)
+			r.NameThread(pid, obs.TidStall, "stall")
+			r.NameThread(pid, obs.TidDCache, "dcache")
+			if _, ok := s.DCaches[i].(*coherence.MESICache); ok {
+				r.NameThread(pid, obs.TidEvict, "evict")
+			}
+		}
+		for b := range s.Banks {
+			r.NameProcess(obs.DirPid(b), fmt.Sprintf("bank%d dir", b), 1000+b)
+		}
+		for i := range s.Nodes {
+			r.NameProcess(obs.PortPid(i), fmt.Sprintf("port%d (cpu%d)", i, i), 2000+i)
+		}
+		for b := range s.BNodes {
+			p := n + b
+			r.NameProcess(obs.PortPid(p), fmt.Sprintf("port%d (bank%d)", p, b), 2000+p)
+		}
+	}
+
+	for _, c := range s.CPUs {
+		c.Obs = r
+	}
+	for _, dc := range s.DCaches {
+		if o, ok := dc.(interface{ SetObserver(*obs.Recorder) }); ok {
+			o.SetObserver(r)
+		}
+	}
+	for _, nd := range s.Nodes {
+		nd.Obs = r
+	}
+	for _, nd := range s.BNodes {
+		nd.Obs = r
+	}
+	for _, b := range s.Banks {
+		b.Obs = r
+	}
+
+	if !r.Sampling() {
+		return
+	}
+	sp := r.Sampler()
+	interval := r.SampleInterval()
+
+	var prevInstr uint64
+	sp.AddProbe("ipc", func(now uint64) float64 {
+		var total uint64
+		for _, c := range s.CPUs {
+			total += c.Stats().Instructions
+		}
+		d := total - prevInstr
+		prevInstr = total
+		return float64(d) / float64(interval) / float64(n)
+	})
+	var prevStall uint64
+	sp.AddProbe("data_stall_pct", func(now uint64) float64 {
+		var total uint64
+		for _, c := range s.CPUs {
+			total += c.Stats().DataStallCycles
+		}
+		d := total - prevStall
+		prevStall = total
+		return 100 * float64(d) / float64(interval) / float64(n)
+	})
+	sp.AddProbe("wb_occupancy", func(now uint64) float64 {
+		var total int
+		for _, dc := range s.DCaches {
+			if w, ok := dc.(*coherence.WTICache); ok {
+				total += w.WBOccupancy()
+			}
+		}
+		return float64(total)
+	})
+	sp.AddProbe("dir_queue", func(now uint64) float64 {
+		var total int
+		for _, b := range s.Banks {
+			total += b.QueuedRequests()
+		}
+		return float64(total)
+	})
+	sp.AddProbe("dir_busy", func(now uint64) float64 {
+		var total int
+		for _, b := range s.Banks {
+			total += b.PendingTx()
+		}
+		return float64(total)
+	})
+	flits := s.Net.PortFlits()
+	for p := range flits {
+		p := p
+		sp.AddProbe(fmt.Sprintf("port%d_flits", p),
+			obs.DeltaProbe(func() uint64 { return flits[p] }))
+	}
+
+	s.Engine.Every(interval, r.Sample)
+}

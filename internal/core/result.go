@@ -6,6 +6,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/cpu"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -25,10 +26,15 @@ type Result struct {
 	// IFetches / IMisses aggregate the instruction caches.
 	IFetches uint64
 	IMisses  uint64
+
+	// Latency is the per-request-type latency attribution, present only
+	// when an observer was attached (see System.AttachObserver).
+	Latency *obs.LatencyReport
 }
 
 func (s *System) collect(cycles uint64) *Result {
-	r := &Result{Config: s.Cfg, Cycles: cycles, Net: s.Net.Stats()}
+	r := &Result{Config: s.Cfg, Cycles: cycles, Net: s.Net.Stats(),
+		Latency: s.Obs.LatencyReport()}
 	for i := range s.CPUs {
 		r.CPU = append(r.CPU, *s.CPUs[i].Stats())
 		r.DCache = append(r.DCache, *s.DCaches[i].Stats())

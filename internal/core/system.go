@@ -7,6 +7,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -25,6 +26,10 @@ type System struct {
 	Nodes   []*coherence.Node // CPU-side nodes
 	Banks   []*coherence.MemCtrl
 	BNodes  []*coherence.Node // bank-side nodes
+
+	// Obs is the attached observability recorder (nil when disabled);
+	// see AttachObserver.
+	Obs *obs.Recorder
 }
 
 // Build wires a platform for cfg and loads the image. Every CPU resets

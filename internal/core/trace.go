@@ -7,26 +7,44 @@ import (
 	"repro/internal/coherence"
 )
 
-// TraceMessages installs a protocol event log on every node: one line
-// per message injected into or delivered from the NoC, in the form
+// TraceMessages installs a protocol event log on every node. Each
+// message is logged once, at injection, with a sequence id:
 //
-//	[cycle] node --kind--> peer addr=0x... (tx)
+//	[cycle] tx #id node --kind--> peer addr=0x...
 //
+// With rx set, a matching delivery line (same id) is additionally
+// printed when the message leaves the NoC — useful for measuring
+// in-flight latency, but it doubles the log, so it is off by default.
 // limit bounds the number of lines (0 = unlimited); tracing stops
 // silently once it is reached. Call before Run.
-func (s *System) TraceMessages(w io.Writer, limit int) {
+func (s *System) TraceMessages(w io.Writer, limit int, rx bool) {
 	var lines int
+	var seq uint64
+	var ids map[*coherence.Msg]uint64
+	if rx {
+		ids = make(map[*coherence.Msg]uint64)
+	}
 	hook := func(now uint64, dir string, self, peer int, m *coherence.Msg) {
+		if dir == "tx" {
+			seq++
+			if rx {
+				ids[m] = seq
+			}
+		} else if !rx {
+			return
+		}
 		if limit > 0 && lines >= limit {
 			return
 		}
 		lines++
-		from, to := self, peer
+		id, from, to := seq, self, peer
 		if dir == "rx" {
+			id = ids[m]
+			delete(ids, m)
 			from, to = peer, self
 		}
-		fmt.Fprintf(w, "[%8d] %s %s --%s--> %s addr=%#x\n",
-			now, dir, s.nodeName(from), m.Kind, s.nodeName(to), m.Addr)
+		fmt.Fprintf(w, "[%8d] %s #%d %s --%s--> %s addr=%#x\n",
+			now, dir, id, s.nodeName(from), m.Kind, s.nodeName(to), m.Addr)
 	}
 	for _, n := range s.Nodes {
 		n.Trace = hook

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 // Register conventions used by the code generator and runtime: r0 is
@@ -70,6 +71,14 @@ type CPU struct {
 	busyUntil uint64
 	halted    bool
 
+	// Obs, when attached, records stall runs as spans on this CPU's
+	// stall row. stallKind remembers the run in progress (0 none,
+	// 1 instruction, 2 data); it stays 0 while Obs is nil, so the hot
+	// path pays only a byte compare.
+	Obs        *obs.Recorder
+	stallKind  uint8
+	stallStart uint64
+
 	st Stats
 }
 
@@ -124,6 +133,7 @@ func (c *CPU) Tick(now uint64) {
 	word, ok := c.icache.Fetch(now, c.pc)
 	if !ok {
 		c.st.InstStallCycles++
+		c.noteStall(now, 1)
 		return
 	}
 	in := isa.Decode(word)
@@ -133,6 +143,7 @@ func (c *CPU) Tick(now uint64) {
 	if in.Op.IsMemory() {
 		if !c.execMem(now, in) {
 			c.st.DataStallCycles++
+			c.noteStall(now, 2)
 			return
 		}
 		c.retire(now, c.pc+4)
@@ -142,8 +153,36 @@ func (c *CPU) Tick(now uint64) {
 }
 
 func (c *CPU) retire(now uint64, nextPC uint32) {
+	if c.stallKind != 0 {
+		c.flushStall(now)
+	}
 	c.st.Instructions++
 	c.pc = nextPC
+}
+
+// noteStall extends or begins the stall run of the given kind.
+func (c *CPU) noteStall(now uint64, kind uint8) {
+	if c.Obs == nil {
+		return
+	}
+	if c.stallKind != kind {
+		c.flushStall(now)
+		c.stallKind = kind
+		c.stallStart = now
+	}
+}
+
+// flushStall emits the finished stall run ending at cycle now.
+func (c *CPU) flushStall(now uint64) {
+	if c.stallKind == 0 {
+		return
+	}
+	name := "inst stall"
+	if c.stallKind == 2 {
+		name = "data stall"
+	}
+	c.Obs.Span(obs.CPUPid(c.ID), obs.TidStall, name, c.stallStart, now, c.pc)
+	c.stallKind = 0
 }
 
 // execMem performs a memory instruction; it reports false while the
@@ -342,6 +381,7 @@ func (c *CPU) exec(now uint64, in isa.Instr) {
 	case isa.OpHalt:
 		c.halted = true
 		c.st.HaltedAt = now
+		c.Obs.Instant(obs.CPUPid(c.ID), obs.TidStall, "halt", now, c.pc)
 	case isa.OpNop:
 		// nothing
 	default:

@@ -23,11 +23,15 @@ package exp
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/codegen"
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -117,6 +121,28 @@ func BuildSpec(r Run, sc Scale) (*workload.Spec, error) {
 
 // Execute builds, runs, and verifies one run point.
 func Execute(r Run, sc Scale) (*core.Result, error) {
+	return ExecuteObserved(r, sc, nil)
+}
+
+// Observe configures per-run observability for experiment execution.
+type Observe struct {
+	// Interval is the metrics sampling period in cycles.
+	Interval uint64
+	// Dir, when non-empty, receives one interval-metrics CSV per run,
+	// named after the run key (slashes become underscores).
+	Dir string
+}
+
+// csvPath maps a run to its sample file under o.Dir.
+func (o *Observe) csvPath(r Run) string {
+	name := strings.ReplaceAll(r.Key(), "/", "_") + ".csv"
+	return filepath.Join(o.Dir, name)
+}
+
+// ExecuteObserved is Execute with interval metrics attached: the run is
+// sampled every o.Interval cycles and, when o.Dir is set, the series
+// are written as CSV. A nil o (or zero interval) behaves like Execute.
+func ExecuteObserved(r Run, sc Scale, o *Observe) (*core.Result, error) {
 	spec, err := BuildSpec(r, sc)
 	if err != nil {
 		return nil, err
@@ -129,6 +155,11 @@ func Execute(r Run, sc Scale) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var rec *obs.Recorder
+	if o != nil && o.Interval > 0 {
+		rec = obs.New(obs.Config{SampleInterval: o.Interval})
+		sys.AttachObserver(rec)
+	}
 	res, err := sys.Run()
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s: %w", r.Key(), err)
@@ -139,6 +170,22 @@ func Execute(r Run, sc Scale) (*core.Result, error) {
 			return nil, fmt.Errorf("exp: %s: %w", r.Key(), err)
 		}
 	}
+	if rec != nil && o.Dir != "" {
+		if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", r.Key(), err)
+		}
+		f, err := os.Create(o.csvPath(r))
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", r.Key(), err)
+		}
+		if err := rec.Sampler().WriteCSV(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("exp: %s: %w", r.Key(), err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", r.Key(), err)
+		}
+	}
 	return res, nil
 }
 
@@ -146,13 +193,18 @@ func Execute(r Run, sc Scale) (*core.Result, error) {
 // both protocols, the given CPU counts) and returns results keyed by
 // run point. Every run is verified against its host reference.
 func Grid(sizes []int, sc Scale) (map[Run]*core.Result, error) {
+	return GridObserved(sizes, sc, nil)
+}
+
+// GridObserved is Grid with per-run observability (see ExecuteObserved).
+func GridObserved(sizes []int, sc Scale, o *Observe) (map[Run]*core.Result, error) {
 	out := make(map[Run]*core.Result)
 	for _, bench := range []Bench{Ocean, Water} {
 		for _, arch := range []mem.Arch{mem.Arch1, mem.Arch2} {
 			for _, proto := range []coherence.Protocol{coherence.WTI, coherence.WBMESI} {
 				for _, n := range sizes {
 					r := Run{Bench: bench, Protocol: proto, Arch: arch, NumCPUs: n}
-					res, err := Execute(r, sc)
+					res, err := ExecuteObserved(r, sc, o)
 					if err != nil {
 						return nil, err
 					}

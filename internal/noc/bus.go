@@ -29,9 +29,10 @@ type Bus struct {
 	rr       int        // round-robin arbitration pointer
 	busyTill uint64
 
-	out  [][]busArrival
-	st   Stats
-	live int
+	out       [][]busArrival
+	st        Stats
+	portFlits []uint64
+	live      int
 }
 
 type busArrival struct {
@@ -51,9 +52,10 @@ func NewBus(cfg BusConfig) *Bus {
 		cfg.QueueDepth = 1
 	}
 	return &Bus{
-		cfg:    cfg,
-		queues: make([][]Packet, cfg.Nodes),
-		out:    make([][]busArrival, cfg.Nodes),
+		cfg:       cfg,
+		queues:    make([][]Packet, cfg.Nodes),
+		out:       make([][]busArrival, cfg.Nodes),
+		portFlits: make([]uint64, cfg.Nodes),
 	}
 }
 
@@ -98,6 +100,7 @@ func (b *Bus) Tick(now uint64) {
 		b.st.Packets++
 		b.st.TotalFlits += flits
 		b.st.TotalBytes += uint64(p.Bytes)
+		b.portFlits[src] += flits
 		b.rr = (src + 1) % b.cfg.Nodes
 		return
 	}
@@ -121,3 +124,6 @@ func (b *Bus) Quiet() bool { return b.live == 0 }
 
 // Stats implements Network.
 func (b *Bus) Stats() Stats { return b.st }
+
+// PortFlits implements Network.
+func (b *Bus) PortFlits() []uint64 { return b.portFlits }

@@ -35,8 +35,9 @@ type GMN struct {
 	src []gmnSrc
 	dst []gmnDst
 
-	stats    Stats
-	inFlight int
+	stats     Stats
+	portFlits []uint64
+	inFlight  int
 }
 
 type gmnSrc struct {
@@ -69,9 +70,10 @@ func NewGMN(cfg GMNConfig) *GMN {
 		cfg.SrcDepth = 1
 	}
 	return &GMN{
-		cfg: cfg,
-		src: make([]gmnSrc, cfg.Nodes),
-		dst: make([]gmnDst, cfg.Nodes),
+		cfg:       cfg,
+		src:       make([]gmnSrc, cfg.Nodes),
+		dst:       make([]gmnDst, cfg.Nodes),
+		portFlits: make([]uint64, cfg.Nodes),
 	}
 }
 
@@ -127,6 +129,7 @@ func (g *GMN) Tick(now uint64) {
 		g.stats.Packets++
 		g.stats.TotalFlits += flits
 		g.stats.TotalBytes += uint64(p.Bytes)
+		g.portFlits[i] += flits
 	}
 }
 
@@ -148,3 +151,6 @@ func (g *GMN) Quiet() bool { return g.inFlight == 0 }
 
 // Stats implements Network.
 func (g *GMN) Stats() Stats { return g.stats }
+
+// PortFlits implements Network.
+func (g *GMN) PortFlits() []uint64 { return g.portFlits }

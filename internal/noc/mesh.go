@@ -44,12 +44,13 @@ type meshRouter struct {
 // to validate the paper's GMN approximation: the headline experiments
 // can be re-run on it to check that conclusions survive a "real" NoC.
 type Mesh struct {
-	cfg  MeshConfig
-	k    int // grid side
-	r    []meshRouter
-	out  [][]meshEntry // per-node delivered packets
-	st   Stats
-	live int
+	cfg       MeshConfig
+	k         int // grid side
+	r         []meshRouter
+	out       [][]meshEntry // per-node delivered packets
+	st        Stats
+	portFlits []uint64
+	live      int
 }
 
 // NewMesh builds a k×k mesh large enough for cfg.Nodes endpoints, one
@@ -66,10 +67,11 @@ func NewMesh(cfg MeshConfig) *Mesh {
 	}
 	k := int(math.Ceil(math.Sqrt(float64(cfg.Nodes))))
 	m := &Mesh{
-		cfg: cfg,
-		k:   k,
-		r:   make([]meshRouter, k*k),
-		out: make([][]meshEntry, cfg.Nodes),
+		cfg:       cfg,
+		k:         k,
+		r:         make([]meshRouter, k*k),
+		out:       make([][]meshEntry, cfg.Nodes),
+		portFlits: make([]uint64, cfg.Nodes),
 	}
 	return m
 }
@@ -127,6 +129,7 @@ func (m *Mesh) Inject(p Packet, now uint64) bool {
 	m.live++
 	m.st.Packets++
 	m.st.TotalBytes += uint64(p.Bytes)
+	m.portFlits[p.Src] += uint64(p.Flits())
 	return true
 }
 
@@ -196,3 +199,6 @@ func (m *Mesh) Quiet() bool { return m.live == 0 }
 
 // Stats implements Network.
 func (m *Mesh) Stats() Stats { return m.st }
+
+// PortFlits implements Network.
+func (m *Mesh) PortFlits() []uint64 { return m.portFlits }

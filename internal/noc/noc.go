@@ -67,6 +67,10 @@ type Network interface {
 	Quiet() bool
 	// Stats returns accumulated traffic counters.
 	Stats() Stats
+	// PortFlits returns the cumulative flits injected per source port,
+	// indexed by node id. The returned slice is a live read-only view
+	// (the observability sampler diffs it between intervals).
+	PortFlits() []uint64
 	// Nodes returns the number of attached nodes.
 	Nodes() int
 }

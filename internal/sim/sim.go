@@ -27,9 +27,17 @@ func (f TickFunc) Tick(now uint64) { f(now) }
 
 // Engine drives a set of Tickers cycle by cycle.
 type Engine struct {
-	now     uint64
-	tickers []Ticker
-	names   []string
+	now       uint64
+	tickers   []Ticker
+	names     []string
+	periodics []periodic
+}
+
+// periodic is a sampling hook run every interval cycles, after all
+// tickers of that cycle.
+type periodic struct {
+	interval uint64
+	fn       func(now uint64)
 }
 
 // NewEngine returns an empty engine at cycle zero.
@@ -45,6 +53,18 @@ func (e *Engine) Register(name string, t Ticker) {
 	e.names = append(e.names, name)
 }
 
+// Every registers fn to run each time interval further cycles have
+// completed (at cycles interval, 2*interval, ...), after every ticker
+// of that cycle. It is the observability sampling hook: fn must only
+// observe state, never mutate it, so registered hooks cannot change
+// simulation results. interval must be positive.
+func (e *Engine) Every(interval uint64, fn func(now uint64)) {
+	if interval == 0 {
+		panic("sim: Every needs a positive interval")
+	}
+	e.periodics = append(e.periodics, periodic{interval: interval, fn: fn})
+}
+
 // Step advances the simulation by exactly one cycle.
 func (e *Engine) Step() {
 	now := e.now
@@ -52,6 +72,14 @@ func (e *Engine) Step() {
 		t.Tick(now)
 	}
 	e.now++
+	if len(e.periodics) != 0 {
+		for i := range e.periodics {
+			p := &e.periodics[i]
+			if e.now%p.interval == 0 {
+				p.fn(e.now)
+			}
+		}
+	}
 }
 
 // ErrDeadline is returned by Run when maxCycles elapse before done()

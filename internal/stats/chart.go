@@ -44,3 +44,48 @@ func BarChart(title string, bars []Bar, width int) string {
 	}
 	return sb.String()
 }
+
+// sparkLevels are the eight block glyphs of a sparkline, lowest first.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as one line of block glyphs scaled from
+// zero to the series maximum. When the series is longer than width the
+// values are averaged into width equal buckets; width <= 0 means no
+// downsampling. An empty or all-zero series renders as minimum-level
+// glyphs so the line keeps its length.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width > 0 && len(values) > width {
+		down := make([]float64, width)
+		for i := range down {
+			lo := i * len(values) / width
+			hi := (i + 1) * len(values) / width
+			var sum float64
+			for _, v := range values[lo:hi] {
+				sum += v
+			}
+			down[i] = sum / float64(hi-lo)
+		}
+		values = down
+	}
+	var max float64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		lvl := 0
+		if max > 0 && v > 0 {
+			lvl = int(v / max * float64(len(sparkLevels)-1))
+			if lvl < 0 {
+				lvl = 0
+			}
+		}
+		sb.WriteRune(sparkLevels[lvl])
+	}
+	return sb.String()
+}

@@ -164,3 +164,110 @@ func TestHistogramZeroAndHuge(t *testing.T) {
 		t.Fatalf("p99 = %d", h.Percentile(99))
 	}
 }
+
+func TestHistogramEmptyPercentiles(t *testing.T) {
+	var h Histogram
+	for _, p := range []float64{0, 50, 95, 99, 100} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("empty p%v = %d, want 0", p, got)
+		}
+	}
+	if h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram has non-zero aggregates")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(42)
+	// Every percentile of a one-sample histogram is the sample itself:
+	// the bucket's power-of-two upper bound is clamped to the max.
+	for _, p := range []float64{0, 1, 50, 95, 99, 100} {
+		if got := h.Percentile(p); got != 42 {
+			t.Errorf("p%v = %d, want 42 (clamped to max)", p, got)
+		}
+	}
+	if h.Mean() != 42 || h.Max() != 42 {
+		t.Fatalf("mean=%v max=%d", h.Mean(), h.Max())
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	// Values beyond the last power-of-two bucket all land in the
+	// overflow bucket; percentile bounds there must report the true max
+	// rather than a meaningless power of two.
+	var h Histogram
+	h.Record(1<<62 + 12345)
+	h.Record(1 << 63)
+	if got := h.Percentile(99); got != 1<<63 {
+		t.Fatalf("overflow p99 = %d, want max %d", got, uint64(1)<<63)
+	}
+	if got := h.Percentile(50); got != 1<<63 {
+		t.Fatalf("overflow p50 = %d, want max", got)
+	}
+}
+
+func TestBarChartDefaultWidth(t *testing.T) {
+	// Zero and negative widths fall back to the default rather than
+	// producing empty or panicking output.
+	for _, w := range []int{0, -5} {
+		out := BarChart("t", []Bar{{Label: "a", Value: 2}}, w)
+		if !strings.Contains(out, strings.Repeat("#", 50)) {
+			t.Fatalf("width %d: max bar not default-width:\n%s", w, out)
+		}
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	out := BarChart("z", []Bar{{Label: "a", Value: 0}, {Label: "b", Value: 0}}, 20)
+	if strings.Contains(out, "#") {
+		t.Fatalf("all-zero chart drew bars:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // title + two rows
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Fatal("empty series must render empty")
+	}
+	out := Sparkline([]float64{0, 1, 2, 4}, 0)
+	if got := len([]rune(out)); got != 4 {
+		t.Fatalf("rendered %d glyphs, want 4", got)
+	}
+	runes := []rune(out)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("scaling wrong: %q", out)
+	}
+	// All-zero series keeps its length at the minimum level.
+	flat := []rune(Sparkline([]float64{0, 0, 0}, 0))
+	if len(flat) != 3 || flat[0] != '▁' || flat[2] != '▁' {
+		t.Fatalf("flat series = %q", string(flat))
+	}
+	// Negative values clamp to the lowest glyph instead of indexing out
+	// of range.
+	neg := []rune(Sparkline([]float64{-5, 10}, 0))
+	if neg[0] != '▁' {
+		t.Fatalf("negative value = %q", string(neg))
+	}
+}
+
+func TestSparklineDownsample(t *testing.T) {
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = float64(i)
+	}
+	out := []rune(Sparkline(series, 10))
+	if len(out) != 10 {
+		t.Fatalf("downsampled to %d glyphs, want 10", len(out))
+	}
+	if out[0] != '▁' || out[9] != '█' {
+		t.Fatalf("monotone series lost its shape: %q", string(out))
+	}
+	// Shorter than the budget: untouched.
+	if got := len([]rune(Sparkline([]float64{1, 2}, 10))); got != 2 {
+		t.Fatalf("short series resampled to %d", got)
+	}
+}
