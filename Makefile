@@ -1,11 +1,12 @@
 # Developer entry points. `make check` is the pre-commit gate: it runs
-# the tier-1 build/test pass plus formatting, vet, and the race
-# detector over the packages whose concurrency/determinism guarantees
-# matter most (the engine and the stats primitives).
+# the tier-1 build/test pass plus formatting, vet, the repo's own
+# determinism analyzers (cmd/simlint), and the race detector over the
+# packages whose concurrency/determinism guarantees matter most (the
+# engine and the stats primitives).
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench sweep
+.PHONY: all build test check fmt vet lint race bench sweep mcheck
 
 all: check
 
@@ -24,10 +25,21 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# lint runs the in-tree determinism analyzers: wall-clock and global
+# math/rand use in simulator packages, map-iteration on sim paths, and
+# non-exhaustive LineState switches (see internal/lint).
+lint:
+	$(GO) run ./cmd/simlint
+
 race:
 	$(GO) test -race ./internal/sim/... ./internal/stats/...
 
-check: fmt vet build test race
+check: fmt vet lint build test race
+
+# mcheck exhaustively model-checks the default small scope for both of
+# the paper's write policies, driving the real cache/directory code.
+mcheck:
+	$(GO) run ./cmd/mcheck -protocol both
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

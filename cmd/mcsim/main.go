@@ -31,6 +31,7 @@ func main() {
 	strict := flag.Bool("strict", false, "strict sequentially-consistent stores (WTI)")
 	verbose := flag.Bool("v", false, "per-CPU and per-bank statistics")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
+	checkEvery := flag.Uint64("check", 0, "run the coherence invariant checker every N cycles (0 = off)")
 	traceN := flag.Int("trace", 0, "print the first N protocol messages (event log)")
 	traceRx := flag.Bool("trace-rx", false, "also log message deliveries in the event log")
 	obsTrace := flag.String("obs-trace", "", "write a Chrome/Perfetto trace-event JSON file")
@@ -117,6 +118,9 @@ func main() {
 	if *traceN > 0 {
 		sys.TraceMessages(os.Stderr, *traceN, *traceRx)
 	}
+	if *checkEvery > 0 {
+		sys.EnableRuntimeChecks(*checkEvery)
+	}
 	if *obsCSV != "" && *obsInterval == 0 {
 		log.Fatal("-obs-csv requires -obs-interval")
 	}
@@ -161,6 +165,14 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "obs: %d samples written to %s\n",
 			rec.Sampler().Samples(), *obsCSV)
+	}
+	if *checkEvery > 0 {
+		// The quiescent checker is stricter than the periodic runtime
+		// one; run it once over the drained final state.
+		if err := sys.CheckCoherence(); err != nil {
+			fmt.Fprintln(os.Stderr, "COHERENCE CHECK FAILED:", err)
+			os.Exit(1)
+		}
 	}
 	sys.FlushCaches()
 	check := "no host reference"

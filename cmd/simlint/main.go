@@ -1,0 +1,34 @@
+// Command simlint runs the repository's custom determinism analyzers
+// (see internal/lint) over the module and exits nonzero on any finding.
+// It is part of `make check`: the simulator's results are only
+// trustworthy if two runs with the same seed are bit-identical, and
+// these analyzers reject the usual ways that property quietly erodes —
+// wall-clock reads, the process-global random generator, randomized
+// map iteration order, and non-exhaustive protocol-state switches.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module root to analyze")
+	flag.Parse()
+
+	findings, err := lint.Run(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -82,11 +82,12 @@ func TestCacheArrayInvalidate(t *testing.T) {
 }
 
 func TestLineStateString(t *testing.T) {
-	for st, want := range map[LineState]string{
-		Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M",
-	} {
-		if st.String() != want {
-			t.Errorf("%d.String() = %q", st, st.String())
+	for _, c := range []struct {
+		st   LineState
+		want string
+	}{{Invalid, "I"}, {Shared, "S"}, {Exclusive, "E"}, {Modified, "M"}} {
+		if c.st.String() != c.want {
+			t.Errorf("%d.String() = %q", c.st, c.st.String())
 		}
 	}
 }

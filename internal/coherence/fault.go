@@ -1,0 +1,37 @@
+package coherence
+
+// FaultPlan seeds protocol mutations into a bank controller. It exists
+// only for verification: the model checker (internal/modelcheck) and
+// its tests inject a fault and assert that the invariant checkers
+// actually catch the resulting incoherence — proving the checkers have
+// teeth, not just that the healthy protocol passes. Production builds
+// leave the zero value (no faults).
+type FaultPlan struct {
+	// DropInvals silently skips sending the next n invalidations the
+	// directory owes (and does not await their acks), leaving stale
+	// copies alive — the classic "missed invalidate" directory bug.
+	DropInvals int
+	// SkipWTApply makes the bank acknowledge the next n write-throughs
+	// without writing memory, breaking the WTI "memory is always
+	// current" invariant.
+	SkipWTApply int
+}
+
+// faultDropInval consumes one DropInvals token, reporting whether the
+// pending invalidation should be dropped.
+func (f *FaultPlan) faultDropInval() bool {
+	if f.DropInvals > 0 {
+		f.DropInvals--
+		return true
+	}
+	return false
+}
+
+// faultSkipWTApply consumes one SkipWTApply token.
+func (f *FaultPlan) faultSkipWTApply() bool {
+	if f.SkipWTApply > 0 {
+		f.SkipWTApply--
+		return true
+	}
+	return false
+}

@@ -1,0 +1,182 @@
+package coherence
+
+// Introspection accessors for the model checker (internal/modelcheck)
+// and the runtime invariant checker. They expose the complete
+// behaviour-relevant micro-architectural state of each component —
+// pending transactions, write-buffer entries, directory entries, queued
+// messages — as plain value types. Counters, observability handles and
+// latency-attribution timestamps are deliberately excluded: they do not
+// influence future behaviour, and including them would prevent the
+// model checker from ever merging two states.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// WTIPendingInfo is the write-through controller's transaction state.
+type WTIPendingInfo struct {
+	Active, IsSwap, Issued, Done bool
+	StrictStore, StrictDone      bool
+	Addr, NewVal, OldVal         uint32
+}
+
+// PendingInfo exposes the blocking-transaction state for inspection.
+func (c *WTICache) PendingInfo() WTIPendingInfo {
+	return WTIPendingInfo{
+		Active: c.pend.active, IsSwap: c.pend.isSwap, Issued: c.pend.issued,
+		Done: c.pend.done, StrictStore: c.strictStore, StrictDone: c.strictDone,
+		Addr: c.pend.addr, NewVal: c.pend.newVal, OldVal: c.pend.oldVal,
+	}
+}
+
+// WBEntryInfo is one posted write-buffer entry.
+type WBEntryInfo struct {
+	Addr   uint32
+	Word   uint32
+	ByteEn uint8
+	Sent   bool
+}
+
+// WBEntries exposes the write buffer's occupied entries in FIFO order.
+func (c *WTICache) WBEntries() []WBEntryInfo {
+	out := make([]WBEntryInfo, 0, len(c.wb.entries))
+	for i := range c.wb.entries {
+		e := &c.wb.entries[i]
+		out = append(out, WBEntryInfo{Addr: e.addr, Word: e.word, ByteEn: e.byteEn, Sent: e.sent})
+	}
+	return out
+}
+
+// MESIPendingInfo is the write-back controller's transaction state,
+// including the one-entry eviction buffer.
+type MESIPendingInfo struct {
+	Active, Issued, Apply, IsSwap, Done bool
+	Kind                                MsgKind
+	Blk, WAddr, Word                    uint32
+	ByteEn                              uint8
+	SwapOld                             uint32
+	EvictActive                         bool
+	EvictAddr                           uint32
+}
+
+// PendingInfo exposes the blocking-transaction state for inspection.
+func (c *MESICache) PendingInfo() MESIPendingInfo {
+	return MESIPendingInfo{
+		Active: c.pend.active, Issued: c.pend.issued, Apply: c.pend.apply,
+		IsSwap: c.pend.isSwap, Done: c.pend.done, Kind: c.pend.kind,
+		Blk: c.pend.blk, WAddr: c.pend.waddr, Word: c.pend.word,
+		ByteEn: c.pend.byteEn, SwapOld: c.pend.swapOld,
+		EvictActive: c.evict.active, EvictAddr: c.evict.addr,
+	}
+}
+
+// ICachePendingInfo is the instruction cache's miss state.
+type ICachePendingInfo struct {
+	Active, Issued bool
+	Addr           uint32
+}
+
+// PendingInfo exposes the outstanding-miss state for inspection.
+func (c *ICache) PendingInfo() ICachePendingInfo {
+	return ICachePendingInfo{Active: c.pendActive, Issued: c.pendIssued, Addr: c.pendAddr}
+}
+
+// DirEntryInfo is one block's directory and serialization state.
+type DirEntryInfo struct {
+	Blk         uint32
+	Sharers     uint64
+	Owner       int
+	Bcast       bool
+	Busy        bool
+	Kind        MsgKind
+	ReqSrc      int
+	WaitAcks    int
+	FetchTarget int
+	FetchPending, FetchSeen,
+	FetchFwd, FetchHadData,
+	RetainOwner, C2CDone bool
+	OldWord  uint32
+	Deferred []*Msg
+}
+
+// DirEntries returns every directory entry holding any state, sorted by
+// block address so the result is deterministic.
+func (mc *MemCtrl) DirEntries() []DirEntryInfo {
+	blks := make([]uint32, 0, len(mc.dir))
+	for blk := range mc.dir { //simlint:ignore maprange — sorted immediately below
+		blks = append(blks, blk)
+	}
+	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+	out := make([]DirEntryInfo, 0, len(blks))
+	for _, blk := range blks {
+		e := mc.dir[blk]
+		reqSrc := -1
+		if e.req != nil {
+			reqSrc = e.req.Src
+		}
+		out = append(out, DirEntryInfo{
+			Blk: blk, Sharers: e.sharers, Owner: int(e.owner), Bcast: e.bcast,
+			Busy: e.busy, Kind: e.kind, ReqSrc: reqSrc, WaitAcks: e.waitAcks,
+			FetchTarget: int(e.fetchTarget), FetchPending: e.fetchPending,
+			FetchSeen: e.fetchSeen, FetchFwd: e.fetchFwd,
+			FetchHadData: e.fetchHadData, RetainOwner: e.retainOwner,
+			C2CDone: e.c2cDone, OldWord: e.oldWord, Deferred: e.deferred,
+		})
+	}
+	return out
+}
+
+// DirBusy reports whether the block has a directory transaction open
+// (requests arriving now would be deferred). The runtime invariant
+// checker uses it to recognize transient windows.
+func (mc *MemCtrl) DirBusy(blk uint32) bool {
+	e := mc.dir[blk]
+	return e != nil && e.busy
+}
+
+// BusyFor reports how many more cycles the bank's service port is
+// occupied (0 when it can accept now).
+func (mc *MemCtrl) BusyFor(now uint64) uint64 {
+	if mc.busyUntil <= now {
+		return 0
+	}
+	return mc.busyUntil - now
+}
+
+// RowState exposes the open-page row-buffer state.
+func (mc *MemCtrl) RowState() (open bool, row uint32) { return mc.rowOpen, mc.openRow }
+
+// QueuedMsg is one outbound message latched in a node's FIFO.
+type QueuedMsg struct {
+	Dst int
+	// NotBefore is the remaining latch delay relative to the current
+	// cycle (0 = injectable now).
+	NotBefore uint64
+	Msg       *Msg
+}
+
+// QueuedMsgs returns the node's outbound FIFO contents in order, with
+// delivery times relative to now.
+func (n *Node) QueuedMsgs(now uint64) []QueuedMsg {
+	var out []QueuedMsg
+	n.outQ.Each(func(at uint64, m outMsg) {
+		rel := uint64(0)
+		if at > now {
+			rel = at - now
+		}
+		out = append(out, QueuedMsg{Dst: m.dst, NotBefore: rel, Msg: m.msg})
+	})
+	return out
+}
+
+// Fingerprint writes a canonical encoding of the message into b. All
+// behaviour-relevant fields participate.
+func (m *Msg) Fingerprint(b *strings.Builder) {
+	fmt.Fprintf(b, "%d:%d:%x:%x:%x", m.Kind, m.Src, m.Addr, m.Word, m.ByteEn)
+	if len(m.Data) > 0 {
+		fmt.Fprintf(b, ":%x", m.Data)
+	}
+	fmt.Fprintf(b, ":%t%t%t%d%t%t;", m.Excl, m.NoData, m.HasFwd, m.Fwd, m.Forwarded, m.RetainOwner)
+}

@@ -3,6 +3,7 @@ package coherence
 import (
 	"bytes"
 	"fmt"
+	"sort"
 
 	"repro/internal/mem"
 )
@@ -70,7 +71,16 @@ func CheckCoherence(caches []DataCache, space *mem.Space, bankOf func(addr uint3
 			blocks[li.Addr] = append(blocks[li.Addr], holder{cpu: cpu, info: li})
 		}
 	}
-	for blk, hs := range blocks {
+	// Sorted iteration so a multi-violation state always reports the
+	// same (lowest-addressed) violation — checker output is part of the
+	// determinism contract.
+	blkAddrs := make([]uint32, 0, len(blocks))
+	for blk := range blocks { //simlint:ignore maprange — sorted immediately below
+		blkAddrs = append(blkAddrs, blk)
+	}
+	sort.Slice(blkAddrs, func(i, j int) bool { return blkAddrs[i] < blkAddrs[j] })
+	for _, blk := range blkAddrs {
+		hs := blocks[blk]
 		// At most one supplier (Owned/Exclusive/Modified) per block.
 		supplier := -1
 		var supplierState LineState
@@ -122,6 +132,139 @@ func CheckCoherence(caches []DataCache, space *mem.Space, bankOf func(addr uint3
 						blk, h.cpu, h.info.State, owner)
 				}
 			}
+		}
+	}
+	return nil
+}
+
+// CheckRuntime verifies the invariants that must hold in EVERY
+// reachable state, transient protocol windows included — unlike
+// CheckCoherence, which demands quiescence. It is cheap enough to run
+// each cycle on small systems and every N cycles on large ones
+// (mcsim -check, the model checker, and the test rigs all use it).
+//
+// What is checked, and why it is transient-safe:
+//
+//  1. Single writer / multiple reader: at most one cache holds a block
+//     in a supplier state (O/E/M), and an E/M holder excludes every
+//     other copy. The directories grant exclusivity only after every
+//     invalidation is acknowledged, so SWMR has no transient exception.
+//  2. Value agreement, skipped while the block's directory entry has an
+//     open transaction (DirBusy) — that is exactly the window in which
+//     copies are legitimately being invalidated, updated, or fetched:
+//     - MESI/MOESI: an S or E copy's bytes equal memory; with an Owned
+//     supplier, S copies must equal the Owned copy instead.
+//     - WTI/WTU: every valid copy's bytes equal memory, except bytes
+//     still covered by the holder's own posted write buffer (a WTI
+//     store updates the line immediately; memory catches up when the
+//     write-through drains).
+//  3. Directory agreement, also outside busy windows: every copy's
+//     holder is recorded as a sharer or the owner, and a supplier-state
+//     holder is the recorded owner. (The reverse — the directory
+//     recording caches that silently dropped clean copies — is allowed,
+//     as in CheckCoherence.)
+func CheckRuntime(caches []DataCache, space *mem.Space, bankOf func(addr uint32) *MemCtrl) error {
+	type holder struct {
+		cpu  int
+		info LineInfo
+	}
+	blocks := make(map[uint32][]holder)
+	for cpu, dc := range caches {
+		insp, ok := dc.(Inspectable)
+		if !ok {
+			return fmt.Errorf("coherence: cache %d is not inspectable", cpu)
+		}
+		for _, li := range insp.Lines() {
+			blocks[li.Addr] = append(blocks[li.Addr], holder{cpu: cpu, info: li})
+		}
+	}
+	blkAddrs := make([]uint32, 0, len(blocks))
+	for blk := range blocks { //simlint:ignore maprange — sorted immediately below
+		blkAddrs = append(blkAddrs, blk)
+	}
+	sort.Slice(blkAddrs, func(i, j int) bool { return blkAddrs[i] < blkAddrs[j] })
+	for _, blk := range blkAddrs {
+		hs := blocks[blk]
+		// SWMR: holds in every reachable state.
+		supplier := -1
+		var supplierState LineState
+		var supplierData []byte
+		for _, h := range hs {
+			if h.info.State >= Owned {
+				if supplier >= 0 {
+					return fmt.Errorf("coherence: SWMR: block %#x: two supplier holders (cpu %d in %v and cpu %d in %v)",
+						blk, supplier, supplierState, h.cpu, h.info.State)
+				}
+				supplier = h.cpu
+				supplierState = h.info.State
+				supplierData = h.info.Data
+			}
+		}
+		if supplier >= 0 && supplierState != Owned && len(hs) > 1 {
+			return fmt.Errorf("coherence: SWMR: block %#x: %v holder cpu %d coexists with %d other copies",
+				blk, supplierState, supplier, len(hs)-1)
+		}
+		mc := bankOf(blk)
+		if mc.DirBusy(blk) {
+			continue // open transaction: value/directory state in motion
+		}
+		memData := make([]byte, len(hs[0].info.Data))
+		space.ReadBlock(blk, memData)
+		sharers, owner := mc.DirSnapshot(blk)
+		for _, h := range hs {
+			known := sharers&(1<<h.cpu) != 0 || owner == h.cpu
+			if !known {
+				return fmt.Errorf("coherence: directory: block %#x: cpu %d holds a %v copy unknown to the directory",
+					blk, h.cpu, h.info.State)
+			}
+			if h.info.State >= Owned && owner != h.cpu {
+				return fmt.Errorf("coherence: directory: block %#x: cpu %d holds %v but directory owner is %d",
+					blk, h.cpu, h.info.State, owner)
+			}
+			switch {
+			case h.info.State == Modified || h.info.State == Owned:
+				// Dirty supplier: memory is legitimately stale.
+			case supplierState == Owned && h.info.State == Shared:
+				if !bytes.Equal(h.info.Data, supplierData) {
+					return fmt.Errorf("coherence: value: block %#x: cpu %d shared copy differs from the Owned copy", blk, h.cpu)
+				}
+			default:
+				if err := checkCopyAgainstMemory(caches[h.cpu], blk, h, memData); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkCopyAgainstMemory compares one clean copy with memory, byte by
+// byte, exempting bytes covered by the holder's own posted write buffer
+// (the write-through transient).
+func checkCopyAgainstMemory(dc DataCache, blk uint32, h struct {
+	cpu  int
+	info LineInfo
+}, memData []byte) error {
+	var covered []uint8 // per-word byte-enable union, lazily built
+	if wt, ok := dc.(*WTICache); ok {
+		words := len(memData) / 4
+		for _, e := range wt.WBEntries() {
+			if e.Addr&^uint32(len(memData)-1) != blk {
+				continue
+			}
+			if covered == nil {
+				covered = make([]uint8, words)
+			}
+			covered[(e.Addr-blk)/4] |= e.ByteEn
+		}
+	}
+	for i := range memData {
+		if covered != nil && covered[i/4]&(1<<(uint(i)%4)) != 0 {
+			continue
+		}
+		if h.info.Data[i] != memData[i] {
+			return fmt.Errorf("coherence: value: block %#x: cpu %d %v copy byte %d is %#x, memory has %#x (no covering write)",
+				blk, h.cpu, h.info.State, i, h.info.Data[i], memData[i])
 		}
 	}
 	return nil

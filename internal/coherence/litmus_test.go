@@ -80,9 +80,12 @@ func runLitmus(t *testing.T, r *rig, seqs [][]litmusOp, delay int) {
 	t.Fatal("litmus sequences did not complete")
 }
 
-// litmusRig builds a 2-CPU rig with x and y in different banks.
+// litmusRig builds a 2-CPU rig with x and y in different banks. Every
+// litmus run doubles as an invariant test: the runtime checker runs on
+// every single cycle.
 func litmusRig(t *testing.T, proto Protocol, strict bool) (r *rig, x, y uint32) {
 	r = newRig(t, proto, 2, 2)
+	r.checkEvery = 1
 	if strict {
 		for i := range r.caches {
 			c := r.caches[i].(*WTICache)
@@ -253,9 +256,12 @@ func TestLitmusAtomicityChain(t *testing.T) {
 
 func TestLitmusNames(t *testing.T) {
 	// Guard against silent protocol-name drift in subtests above.
-	for p, want := range map[Protocol]string{WTI: "WTI", WTU: "WTU", WBMESI: "WB", MOESI: "MOESI"} {
-		if got := fmt.Sprintf("%v", p); got != want {
-			t.Fatalf("protocol %d renders as %q", p, got)
+	for _, c := range []struct {
+		p    Protocol
+		want string
+	}{{WTI, "WTI"}, {WTU, "WTU"}, {WBMESI, "WB"}, {MOESI, "MOESI"}} {
+		if got := fmt.Sprintf("%v", c.p); got != c.want {
+			t.Fatalf("protocol %d renders as %q", c.p, got)
 		}
 	}
 }

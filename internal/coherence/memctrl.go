@@ -88,6 +88,10 @@ type MemCtrl struct {
 	// Open-page row buffer state (Params.RowBytes > 0).
 	rowOpen bool
 	openRow uint32
+
+	// Fault seeds protocol mutations for verification self-tests; the
+	// zero value (production) injects nothing. See FaultPlan.
+	Fault FaultPlan
 }
 
 // NewMemCtrl builds the controller for one bank. Call SetNode before
@@ -280,6 +284,9 @@ func (mc *MemCtrl) sendInvals(blk uint32, mask uint64, now uint64) int {
 		bit := uint64(1) << cpu
 		if mask&bit != 0 {
 			mask &^= bit
+			if mc.Fault.faultDropInval() {
+				continue // seeded mutation: stale copy survives
+			}
 			mc.node.SendCtrl(&Msg{Kind: CmdInval, Src: mc.nodeID, Addr: blk}, cpu, now)
 			mc.st.InvalsSent++
 			n++
@@ -411,7 +418,9 @@ func (mc *MemCtrl) handleUpgrade(e *dirEntry, m *Msg, now uint64) {
 func (mc *MemCtrl) handleWriteThrough(e *dirEntry, m *Msg, now uint64) {
 	mc.st.WriteThroughs++
 	mc.accessLatency(m.Addr) // writes move the open row; acks stay posted
-	mc.space.WriteMasked(m.Addr, m.Word, m.ByteEn)
+	if !mc.Fault.faultSkipWTApply() {
+		mc.space.WriteMasked(m.Addr, m.Word, m.ByteEn)
+	}
 	blk := mc.p.BlockAddr(m.Addr)
 	// WTU updates every sharer, the writer included: all copies must
 	// observe the bank's serialization order. WTI invalidates the
@@ -621,13 +630,11 @@ func (mc *MemCtrl) finish(e *dirEntry, now uint64) {
 }
 
 // Drained reports whether no transaction is in flight at this bank.
+// The busy/deferred gauges are maintained exactly (see process/finish),
+// so this avoids iterating the directory map — O(1) instead of O(blocks)
+// per quiescence poll, and no map-order dependence.
 func (mc *MemCtrl) Drained() bool {
-	for _, e := range mc.dir {
-		if e.busy || len(e.deferred) > 0 {
-			return false
-		}
-	}
-	return true
+	return mc.busyTx == 0 && mc.queuedReqs == 0
 }
 
 // DirSnapshot exposes directory state for the invariant checker:

@@ -31,6 +31,9 @@ type rig struct {
 	banks  []*MemCtrl
 	bnodes []*Node
 	now    uint64
+	// checkEvery > 0 runs the transient-safe runtime invariant checker
+	// every that many cycles inside step().
+	checkEvery uint64
 }
 
 const rigBase = 0x10000
@@ -99,6 +102,14 @@ func (r *rig) step() {
 	}
 	r.net.Tick(r.now)
 	r.now++
+	if r.checkEvery > 0 && r.now%r.checkEvery == 0 {
+		err := CheckRuntime(r.caches, r.space, func(addr uint32) *MemCtrl {
+			return r.banks[r.amap.BankOf(addr)]
+		})
+		if err != nil {
+			r.t.Fatalf("cycle %d: %v", r.now, err)
+		}
+	}
 }
 
 func (r *rig) settle() {
@@ -642,8 +653,13 @@ func stress(t *testing.T, proto Protocol, ncpu, nbank, opsPerCPU int, seed int64
 }
 
 // stressRig runs the randomized workload on a prebuilt rig (so protocol
-// variants like cache-to-cache reuse it).
+// variants like cache-to-cache reuse it). The runtime invariant checker
+// runs mid-flight on a prime stride so it lands on ever-shifting phases
+// of the protocol transactions.
 func stressRig(t *testing.T, r *rig, ncpu, opsPerCPU int, seed int64) {
+	if r.checkEvery == 0 {
+		r.checkEvery = 113
+	}
 	rng := rand.New(rand.NewSource(seed))
 	const words = 24 // 3 blocks: maximal conflict
 	written := make(map[uint32]map[uint32]bool)
@@ -744,6 +760,95 @@ func TestRandomStressManySeeds(t *testing.T) {
 	for seed := int64(1); seed <= 6; seed++ {
 		for _, proto := range []Protocol{WTI, WTU, WBMESI, MOESI} {
 			stress(t, proto, 6, 2, 250, seed)
+		}
+	}
+}
+
+// TestCrossProtocolFinalMemoryAgreement runs one seeded, race-free
+// workload under every protocol and demands bit-identical final memory.
+// Each word has exactly one writer (per-CPU disjoint store partitions),
+// so the final value of every word is fixed by per-CPU program order
+// alone — any disagreement between protocols is a lost or misapplied
+// write, not a legal interleaving difference. Loads roam the whole
+// range to generate the cross-CPU sharing traffic that makes the
+// write-policy machinery actually work for its result.
+func TestCrossProtocolFinalMemoryAgreement(t *testing.T) {
+	const (
+		ncpu      = 4
+		wordsPer  = 6 // 24 words = 3 blocks: heavy false sharing
+		opsPerCPU = 150
+		seed      = 424242
+	)
+	type op struct {
+		store bool
+		addr  uint32
+		val   uint32
+	}
+	addrOf := func(w int) uint32 { return rigBase + uint32(w)*4 }
+	// One shared script, generated once so every protocol replays the
+	// same per-CPU programs.
+	rng := rand.New(rand.NewSource(seed))
+	scripts := make([][]op, ncpu)
+	val := uint32(1)
+	for c := range scripts {
+		for i := 0; i < opsPerCPU; i++ {
+			if rng.Intn(3) == 0 {
+				w := c*wordsPer + rng.Intn(wordsPer) // own partition
+				scripts[c] = append(scripts[c], op{store: true, addr: addrOf(w), val: val})
+				val++
+			} else {
+				w := rng.Intn(ncpu * wordsPer) // anywhere: sharing traffic
+				scripts[c] = append(scripts[c], op{addr: addrOf(w)})
+			}
+		}
+	}
+	run := func(proto Protocol) []uint32 {
+		r := newRig(t, proto, ncpu, 2)
+		r.checkEvery = 113
+		idx := make([]int, ncpu)
+		for step := 0; step < 5_000_000; step++ {
+			alldone := true
+			for c := 0; c < ncpu; c++ {
+				if idx[c] >= len(scripts[c]) {
+					continue
+				}
+				alldone = false
+				o := scripts[c][idx[c]]
+				if o.store {
+					if r.caches[c].Store(r.now, o.addr, o.val, 0xf) {
+						idx[c]++
+					}
+				} else if _, ok := r.caches[c].Load(r.now, o.addr, 0xf); ok {
+					idx[c]++
+				}
+			}
+			if alldone {
+				break
+			}
+			r.step()
+		}
+		for c := 0; c < ncpu; c++ {
+			if idx[c] < len(scripts[c]) {
+				t.Fatalf("%v: cpu %d stuck at op %d", proto, c, idx[c])
+			}
+		}
+		r.settle()
+		r.check()
+		flushDirty(r)
+		out := make([]uint32, ncpu*wordsPer)
+		for w := range out {
+			out[w] = r.space.ReadWord(addrOf(w))
+		}
+		return out
+	}
+	ref := run(WTI)
+	for _, proto := range []Protocol{WTU, WBMESI, MOESI} {
+		got := run(proto)
+		for w, want := range ref {
+			if got[w] != want {
+				t.Errorf("%v: final word %d (%#x) = %d, WTI has %d",
+					proto, w, addrOf(w), got[w], want)
+			}
 		}
 	}
 }

@@ -30,6 +30,11 @@ type System struct {
 	// Obs is the attached observability recorder (nil when disabled);
 	// see AttachObserver.
 	Obs *obs.Recorder
+
+	// runtimeCheckErr records the first runtime-invariant violation
+	// when EnableRuntimeChecks is active; Run surfaces it.
+	runtimeCheckErr   error
+	runtimeCheckCycle uint64
 }
 
 // Build wires a platform for cfg and loads the image. Every CPU resets
@@ -161,8 +166,15 @@ func (s *System) Run() (*Result, error) {
 		return nil, fmt.Errorf("core: %w (pcs: %v)", err, s.pcs())
 	}
 	// Drain phase: not part of the measured execution time.
-	if _, err := s.Engine.Run(1_000_000, s.Quiescent); err != nil {
-		return nil, fmt.Errorf("core: drain did not quiesce: %w", err)
+	_, drainErr := s.Engine.Run(1_000_000, s.Quiescent)
+	if s.runtimeCheckErr != nil {
+		// An invariant violation explains a lot more than the hang it
+		// may have caused; report it even if the drain timed out.
+		return nil, fmt.Errorf("core: runtime invariant violated at cycle %d: %w",
+			s.runtimeCheckCycle, s.runtimeCheckErr)
+	}
+	if drainErr != nil {
+		return nil, fmt.Errorf("core: drain did not quiesce: %w", drainErr)
 	}
 	return s.collect(cycles), nil
 }
@@ -170,8 +182,37 @@ func (s *System) Run() (*Result, error) {
 // CheckCoherence verifies the protocol invariants over the quiescent
 // system (call after Run, before FlushCaches).
 func (s *System) CheckCoherence() error {
-	return coherence.CheckCoherence(s.DCaches, s.Space, func(addr uint32) *coherence.MemCtrl {
-		return s.Banks[s.AddrMap.BankOf(addr)]
+	return coherence.CheckCoherence(s.DCaches, s.Space, s.bankFor)
+}
+
+// CheckRuntime verifies the transient-safe invariants (SWMR, value and
+// directory agreement outside open-transaction windows); unlike
+// CheckCoherence it is valid at any cycle, mid-transaction included.
+func (s *System) CheckRuntime() error {
+	return coherence.CheckRuntime(s.DCaches, s.Space, s.bankFor)
+}
+
+func (s *System) bankFor(addr uint32) *coherence.MemCtrl {
+	return s.Banks[s.AddrMap.BankOf(addr)]
+}
+
+// EnableRuntimeChecks arranges for CheckRuntime to run every `every`
+// cycles for the rest of the run (mcsim -check). The first violation is
+// recorded and turned into an error by Run — at ~1µs per check on small
+// systems, every=1 is usable in tests; sparser intervals bound the
+// overhead on long experiments while still catching invariant drift
+// close to where it happens.
+func (s *System) EnableRuntimeChecks(every uint64) {
+	if every == 0 {
+		return
+	}
+	s.Engine.Every(every, func(now uint64) {
+		if s.runtimeCheckErr == nil {
+			if err := s.CheckRuntime(); err != nil {
+				s.runtimeCheckErr = err
+				s.runtimeCheckCycle = now
+			}
+		}
 	})
 }
 

@@ -1,0 +1,140 @@
+// Package lint implements the repository's custom static analyzers.
+// They enforce the property every result in this study depends on:
+// *the simulator is a deterministic function of its configuration and
+// seed*. Two runs with the same flags must produce bit-identical
+// statistics, and the model checker's replay-based search is only sound
+// if re-running a choice path reproduces the same state.
+//
+// Analyzers (all scoped to the simulation packages listed in
+// DeterminismPackages unless noted):
+//
+//   - walltime: forbids reading the wall clock (time.Now, time.Since,
+//     timers). Simulated time is the only clock the simulator may see.
+//   - globalrand: forbids math/rand's package-level functions, whose
+//     process-global generator is shared, lockstep-dependent and (since
+//     Go 1.20) seeded randomly at startup. Explicit rand.New(
+//     rand.NewSource(seed)) generators are fine.
+//   - maprange: forbids ranging over a map, whose iteration order is
+//     deliberately randomized by the runtime — any simulator behaviour
+//     reached through such a loop differs run to run. Iterate a sorted
+//     key slice instead, or suppress a provably order-independent loop
+//     with `//simlint:ignore maprange <reason>`.
+//   - exhaustive: module-wide; a switch over coherence.LineState must
+//     either have a default clause or cover every protocol state
+//     (Shared, Owned, Exclusive, Modified) so adding a state revisits
+//     every transition decision. Invalid is exempt: hit-guarded
+//     switches legitimately never see it.
+//
+// The analyzers are built on go/parser and go/types only — no external
+// analysis framework — so the gate runs anywhere the Go toolchain does.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// DeterminismPackages are the import paths whose behaviour feeds
+// simulation results; the determinism analyzers apply only here.
+// Workload generators (internal/trace) pass globalrand because they
+// draw from explicitly seeded rand.New(rand.NewSource(seed))
+// generators, which the analyzer permits.
+var DeterminismPackages = []string{
+	"repro/internal/sim",
+	"repro/internal/coherence",
+	"repro/internal/noc",
+	"repro/internal/cpu",
+	"repro/internal/mem",
+	"repro/internal/core",
+	"repro/internal/trace",
+	"repro/internal/modelcheck",
+}
+
+// Finding is one analyzer hit.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// analyzer inspects one typechecked package and reports findings.
+type analyzer interface {
+	name() string
+	check(p *pkg, report func(pos token.Pos, msg string))
+}
+
+// Run loads every package of the module rooted at dir, typechecks it,
+// and runs all analyzers. Findings come back sorted by position.
+// Test files are analyzed too: a nondeterministic test is a flaky test.
+func Run(dir string) ([]Finding, error) {
+	pkgs, fset, err := loadModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	determinism := make(map[string]bool, len(DeterminismPackages))
+	for _, p := range DeterminismPackages {
+		determinism[p] = true
+	}
+	analyzers := []analyzer{walltime{}, globalrand{}, maprange{}, exhaustive{}}
+	var findings []Finding
+	for _, p := range pkgs {
+		p.determinismScoped = determinism[p.importPath]
+		for _, a := range analyzers {
+			a := a
+			a.check(p, func(pos token.Pos, msg string) {
+				position := fset.Position(pos)
+				if p.suppressed(a.name(), position.Line) {
+					return
+				}
+				findings = append(findings, Finding{Pos: position, Analyzer: a.name(), Message: msg})
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// suppressed reports whether `//simlint:ignore <name>` appears on the
+// finding's line or the line directly above it.
+func (p *pkg) suppressed(analyzer string, line int) bool {
+	for _, l := range []int{line, line - 1} {
+		for _, c := range p.ignoreComments[l] {
+			if c == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseIgnore extracts the analyzer name from a suppression comment,
+// returning "" if the comment is not one.
+func parseIgnore(text string) string {
+	const prefix = "//simlint:ignore "
+	if !strings.HasPrefix(text, prefix) {
+		return ""
+	}
+	rest := strings.TrimSpace(text[len(prefix):])
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fixtureFindings runs the analyzers over the fixture module and
+// returns findings as "<base-file>:<line>:<analyzer>" strings.
+func fixtureFindings(t *testing.T) []string {
+	t.Helper()
+	findings, err := Run(filepath.Join("testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, filepath.Base(f.Pos.Filename)+":"+itoa(f.Pos.Line)+":"+f.Analyzer)
+	}
+	return got
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestFixtureFindings(t *testing.T) {
+	want := []string{
+		"main.go:21:exhaustive",   // LineState rule applies module-wide
+		"states.go:17:exhaustive", // missing Owned
+		"bad.go:11:walltime",      // time.Now
+		"bad.go:12:walltime",      // time.Since
+		"bad.go:17:globalrand",    // rand.Intn on the global generator
+		"bad.go:27:maprange",      // unsorted map range
+	}
+	got := fixtureFindings(t)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("findings:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestFixtureAllowedForms spells out what must NOT be flagged: seeded
+// generators, slice ranges, suppressed map ranges, switches with
+// default or full coverage, wall clock outside the determinism scope.
+func TestFixtureAllowedForms(t *testing.T) {
+	got := fixtureFindings(t)
+	for _, f := range got {
+		for _, banned := range []string{
+			"bad.go:21",                    // rand.New(rand.NewSource(seed))
+			"bad.go:31",                    // suppressed map range
+			"bad.go:34",                    // slice range
+			"states.go:27", "states.go:36", // default / full coverage
+			"main.go:15", "main.go:17", // wall clock + map range outside scope
+		} {
+			if strings.HasPrefix(f, strings.SplitN(banned, ":", 2)[0]+":"+strings.SplitN(banned, ":", 2)[1]+":") {
+				t.Errorf("false positive: %s", f)
+			}
+		}
+	}
+}
+
+// TestFixtureMessages checks the findings carry actionable advice.
+func TestFixtureMessages(t *testing.T) {
+	findings, err := Run(filepath.Join("testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "maprange":
+			if !strings.Contains(f.Message, "simlint:ignore maprange") {
+				t.Errorf("maprange message lacks the suppression hint: %s", f.Message)
+			}
+		case "exhaustive":
+			if !strings.Contains(f.Message, "default") {
+				t.Errorf("exhaustive message lacks the default-clause hint: %s", f.Message)
+			}
+		case "globalrand":
+			if !strings.Contains(f.Message, "NewSource") {
+				t.Errorf("globalrand message lacks the seeded-generator hint: %s", f.Message)
+			}
+		}
+	}
+}
+
+// TestFindingsSorted verifies the deterministic output order the
+// analyzers themselves demand of the simulator.
+func TestFindingsSorted(t *testing.T) {
+	a := fixtureFindings(t)
+	b := fixtureFindings(t)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two runs differ:\n%v\n%v", a, b)
+	}
+}
+
+// TestRepositoryIsClean gates the repo on its own analyzers: the tree
+// that ships this test must have zero findings.
+func TestRepositoryIsClean(t *testing.T) {
+	findings, err := Run(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+func TestParseIgnore(t *testing.T) {
+	for _, c := range []struct{ in, want string }{
+		{"//simlint:ignore maprange — reason", "maprange"},
+		{"//simlint:ignore maprange", "maprange"},
+		{"//simlint:ignore walltime because", "walltime"},
+		{"// simlint:ignore maprange", ""}, // space breaks the directive, like //go:
+		{"//simlint:ignored maprange", ""},
+		{"// regular comment", ""},
+	} {
+		if got := parseIgnore(c.in); got != c.want {
+			t.Errorf("parseIgnore(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Command tool is a lint fixture: outside the determinism scope, the
+// wall clock and global rand are fine; LineState switches are checked
+// everywhere.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/coherence"
+)
+
+func main() {
+	fmt.Println(time.Now(), rand.Int())
+	m := map[int]int{1: 2}
+	for k := range m {
+		fmt.Println(k)
+	}
+	s := coherence.Shared
+	switch s { // want exhaustive: module-wide rule
+	case coherence.Shared:
+	}
+}

@@ -1,0 +1,49 @@
+// Package coherence is a lint fixture for the exhaustive analyzer.
+package coherence
+
+// LineState mirrors the real protocol state enum.
+type LineState uint8
+
+// States.
+const (
+	Invalid LineState = iota
+	Shared
+	Owned
+	Exclusive
+	Modified
+)
+
+func missingCase(s LineState) int {
+	switch s { // want exhaustive: misses Owned
+	case Shared:
+		return 1
+	case Exclusive, Modified:
+		return 2
+	}
+	return 0
+}
+
+func withDefault(s LineState) int {
+	switch s {
+	case Modified:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func covered(s LineState) int {
+	switch s {
+	case Shared, Owned, Exclusive, Modified:
+		return 1
+	}
+	return 0
+}
+
+func notLineState(x int) int {
+	switch x {
+	case 1:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,206 @@
+// Package modelcheck exhaustively enumerates the reachable state space
+// of a small configured system — real WTICache/MESICache controllers,
+// real directory banks, the real GMN interconnect, stepped by the same
+// per-cycle order the simulator uses — and checks coherence invariants
+// in every reachable state.
+//
+// The explorer is a breadth-first search over *joint CPU choices*: each
+// cycle, every idle CPU either stays silent or initiates one operation
+// from a small alphabet (load / store-v / swap on the scoped
+// addresses); a CPU with an operation in flight keeps polling it, as
+// the cycle-accurate CPU model does. Because the simulated hardware is
+// deterministic, a state is fully identified by the choice path that
+// produced it, so the search needs no snapshot/restore support: a state
+// is re-entered by replaying its path from reset. States are
+// deduplicated by a 128-bit FNV hash of the complete
+// micro-architectural state (cache lines, pending transactions, write
+// buffers, directory entries, node FIFOs, in-flight NoC packets, scoped
+// memory words), with all times expressed relative to the current
+// cycle so equivalent states reached at different absolute cycles
+// merge.
+//
+// In every state the transient-safe runtime invariants run
+// (coherence.CheckRuntime: SWMR, value agreement, directory agreement)
+// plus a ghost-value check — a completed load or swap must observe a
+// value some CPU actually wrote. In every quiescent state the stricter
+// coherence.CheckCoherence runs too. A state from which the all-silent
+// step changes nothing while work is still in flight is a deadlock.
+// Any violation is reported as a replayable counterexample: the choice
+// path, re-run with message tracing enabled, prints the full protocol
+// event sequence leading to the bad state.
+package modelcheck
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+)
+
+// Scope bounds the explored configuration. The defaults (two caches,
+// one directory bank, one shared address, two written values, two
+// operations per CPU) keep exhaustive enumeration tractable while still
+// exercising every protocol race on one block — the small-scope
+// hypothesis: protocol bugs that exist at all manifest in tiny
+// configurations.
+type Scope struct {
+	// Proto selects the protocol under check.
+	Proto coherence.Protocol
+	// CPUs and Banks size the system (2–3 caches, 1–2 banks).
+	CPUs, Banks int
+	// Addrs are the word addresses the CPUs operate on. Leave nil for
+	// the default single shared word.
+	Addrs []uint32
+	// Vals is the store-value alphabet (must not contain 0, the
+	// initial memory value — ghost checks tell values apart).
+	Vals []uint32
+	// WithSwap adds an atomic swap per address to the alphabet.
+	WithSwap bool
+	// OpsPerCPU bounds how many operations each CPU may initiate.
+	OpsPerCPU int
+	// MaxStates aborts exploration after this many distinct states
+	// (0 = unbounded). An aborted run reports Complete=false.
+	MaxStates int
+	// MaxDepth guards against runaway paths (0 = default 10000).
+	MaxDepth int
+	// Fault seeds a protocol mutation into every bank, for verifying
+	// that the checkers catch it (see coherence.FaultPlan).
+	Fault coherence.FaultPlan
+	// Network smallness knobs: crossing delay and queue depths.
+	Delay, SrcDepth, FIFODepth int
+	// WBWords bounds the WTI write buffer.
+	WBWords int
+}
+
+// scopeBase is where the scoped words live (an arbitrary mapped base).
+const scopeBase = 0x10000
+
+// DefaultScope returns the standard small scope for a protocol:
+// 2 CPUs, 1 bank, 1 shared word, values {1,2}, swap enabled,
+// 2 operations per CPU.
+func DefaultScope(proto coherence.Protocol) Scope {
+	return Scope{
+		Proto:     proto,
+		CPUs:      2,
+		Banks:     1,
+		Addrs:     []uint32{scopeBase},
+		Vals:      []uint32{1, 2},
+		WithSwap:  true,
+		OpsPerCPU: 2,
+		Delay:     2,
+		SrcDepth:  2,
+		FIFODepth: 4,
+		WBWords:   2,
+	}
+}
+
+// normalize fills defaults and validates the scope.
+func (sc *Scope) normalize() error {
+	if sc.CPUs < 1 || sc.CPUs > 4 {
+		return fmt.Errorf("modelcheck: CPUs must be 1..4, got %d", sc.CPUs)
+	}
+	if sc.Banks < 1 || sc.Banks > 2 {
+		return fmt.Errorf("modelcheck: Banks must be 1..2, got %d", sc.Banks)
+	}
+	if len(sc.Addrs) == 0 {
+		sc.Addrs = []uint32{scopeBase}
+	}
+	if len(sc.Vals) == 0 {
+		sc.Vals = []uint32{1, 2}
+	}
+	for _, v := range sc.Vals {
+		if v == 0 {
+			return fmt.Errorf("modelcheck: value 0 is reserved for initial memory")
+		}
+		if v == swapValue {
+			return fmt.Errorf("modelcheck: value %#x is reserved for swap", swapValue)
+		}
+	}
+	if sc.OpsPerCPU < 1 {
+		sc.OpsPerCPU = 2
+	}
+	if sc.MaxDepth <= 0 {
+		sc.MaxDepth = 10000
+	}
+	if sc.Delay <= 0 {
+		sc.Delay = 2
+	}
+	if sc.SrcDepth <= 0 {
+		sc.SrcDepth = 2
+	}
+	if sc.FIFODepth <= 0 {
+		sc.FIFODepth = 4
+	}
+	if sc.WBWords <= 0 {
+		sc.WBWords = 2
+	}
+	return nil
+}
+
+// swapValue is the distinct word every scoped swap writes, so ghost
+// checks can tell a swapped word from a stored one.
+const swapValue = 0x5A
+
+type opKind uint8
+
+const (
+	opLoad opKind = iota
+	opStore
+	opSwap
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opLoad:
+		return "load"
+	case opStore:
+		return "store"
+	default:
+		return "swap"
+	}
+}
+
+// op is one entry of the per-CPU choice alphabet.
+type op struct {
+	kind opKind
+	addr uint32
+	val  uint32
+	// valID indexes the ghost value table (0 = initial memory).
+	valID int
+}
+
+func (o op) String() string {
+	switch o.kind {
+	case opLoad:
+		return fmt.Sprintf("load %#x", o.addr)
+	case opStore:
+		return fmt.Sprintf("store %#x<-%d", o.addr, o.val)
+	default:
+		return fmt.Sprintf("swap %#x<-%#x", o.addr, o.val)
+	}
+}
+
+// buildAlphabet enumerates the per-CPU operation alphabet and the ghost
+// value table. Choice digit 0 is reserved for "stay silent / keep
+// polling"; digit i>0 initiates alphabet[i-1].
+func buildAlphabet(sc *Scope) (ops []op, values []uint32) {
+	values = []uint32{0} // initial memory value
+	valID := func(v uint32) int {
+		for i, x := range values {
+			if x == v {
+				return i
+			}
+		}
+		values = append(values, v)
+		return len(values) - 1
+	}
+	for _, a := range sc.Addrs {
+		ops = append(ops, op{kind: opLoad, addr: a})
+		for _, v := range sc.Vals {
+			ops = append(ops, op{kind: opStore, addr: a, val: v, valID: valID(v)})
+		}
+		if sc.WithSwap {
+			ops = append(ops, op{kind: opSwap, addr: a, val: swapValue, valID: valID(swapValue)})
+		}
+	}
+	return ops, values
+}

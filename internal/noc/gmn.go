@@ -149,6 +149,53 @@ func (g *GMN) Deliver(node int, now uint64) (Packet, bool) {
 // Quiet implements Network.
 func (g *GMN) Quiet() bool { return g.inFlight == 0 }
 
+// GMNPortState is one port's queue contents for inspection, with times
+// expressed relative to the snapshot cycle.
+type GMNPortState struct {
+	// Busy is the remaining serialization occupancy of the port.
+	Busy uint64
+	// Queue holds the waiting packets; Ready is the remaining delay
+	// until the packet is deliverable (always 0 for source queues,
+	// where packets wait for the crossbar, not for a timer).
+	Queue []GMNQueuedPacket
+}
+
+// GMNQueuedPacket is one in-flight packet for inspection.
+type GMNQueuedPacket struct {
+	Ready uint64
+	Pkt   Packet
+}
+
+// Snapshot returns the complete in-flight state of the network —
+// injection queues, delay-FIFO contents, and port occupancies — with
+// all times relative to now. The model checker fingerprints it; the
+// runtime invariant checker enumerates the packets.
+func (g *GMN) Snapshot(now uint64) (src, dst []GMNPortState) {
+	rel := func(t uint64) uint64 {
+		if t <= now {
+			return 0
+		}
+		return t - now
+	}
+	src = make([]GMNPortState, len(g.src))
+	for i := range g.src {
+		s := &g.src[i]
+		src[i].Busy = rel(s.busyUntil)
+		for _, p := range s.queue {
+			src[i].Queue = append(src[i].Queue, GMNQueuedPacket{Pkt: p})
+		}
+	}
+	dst = make([]GMNPortState, len(g.dst))
+	for i := range g.dst {
+		d := &g.dst[i]
+		dst[i].Busy = rel(d.busyUntil)
+		for _, a := range d.queue {
+			dst[i].Queue = append(dst[i].Queue, GMNQueuedPacket{Ready: rel(a.readyAt), Pkt: a.pkt})
+		}
+	}
+	return src, dst
+}
+
 // Stats implements Network.
 func (g *GMN) Stats() Stats { return g.stats }
 

@@ -30,11 +30,19 @@ func drive(t *testing.T, n Network, budget int) map[int][]Packet {
 	return nil
 }
 
-func nets(nodes int) map[string]func() Network {
-	return map[string]func() Network{
-		"gmn":  func() Network { return NewGMN(DefaultGMNConfig(nodes)) },
-		"mesh": func() Network { return NewMesh(DefaultMeshConfig(nodes)) },
-		"bus":  func() Network { return NewBus(DefaultBusConfig(nodes)) },
+func nets(nodes int) []struct {
+	name string
+	mk   func() Network
+} {
+	// Ordered slice, not a map: subtests must run in the same order
+	// every time (simlint maprange).
+	return []struct {
+		name string
+		mk   func() Network
+	}{
+		{"gmn", func() Network { return NewGMN(DefaultGMNConfig(nodes)) }},
+		{"mesh", func() Network { return NewMesh(DefaultMeshConfig(nodes)) }},
+		{"bus", func() Network { return NewBus(DefaultBusConfig(nodes)) }},
 	}
 }
 
@@ -48,9 +56,9 @@ func TestPacketFlits(t *testing.T) {
 }
 
 func TestDelivery(t *testing.T) {
-	for name, mk := range nets(9) {
-		t.Run(name, func(t *testing.T) {
-			n := mk()
+	for _, nc := range nets(9) {
+		t.Run(nc.name, func(t *testing.T) {
+			n := nc.mk()
 			if !n.Inject(Packet{Src: 0, Dst: 8, Bytes: 12, Payload: "hello"}, 0) {
 				t.Fatal("inject refused on an idle network")
 			}
@@ -80,9 +88,9 @@ func TestMinimumLatency(t *testing.T) {
 }
 
 func TestPerPairOrdering(t *testing.T) {
-	for name, mk := range nets(9) {
-		t.Run(name, func(t *testing.T) {
-			n := mk()
+	for _, nc := range nets(9) {
+		t.Run(nc.name, func(t *testing.T) {
+			n := nc.mk()
 			const count = 20
 			sent := 0
 			for cyc := 0; sent < count && cyc < 10000; cyc++ {
@@ -99,7 +107,7 @@ func TestPerPairOrdering(t *testing.T) {
 				}
 			}
 			// Re-run cleanly collecting order.
-			n = mk()
+			n = nc.mk()
 			var order []int
 			sent = 0
 			for cyc := 0; cyc < 20000; cyc++ {
@@ -135,10 +143,10 @@ func TestPerPairOrdering(t *testing.T) {
 func TestOrderingProperty(t *testing.T) {
 	// Per-(src,dst) ordering holds for arbitrary multi-flow traffic on
 	// both network models.
-	for name, mk := range nets(9) {
-		t.Run(name, func(t *testing.T) {
+	for _, nc := range nets(9) {
+		t.Run(nc.name, func(t *testing.T) {
 			f := func(flows []uint8) bool {
-				n := mk()
+				n := nc.mk()
 				type key struct{ src, dst int }
 				nextSeq := map[key]int{}
 				wantSeq := map[key]int{}
@@ -274,7 +282,7 @@ func TestMeshAllPairsDeliver(t *testing.T) {
 	}
 	got := drive(t, m, 100000)
 	total := 0
-	for _, ps := range got {
+	for _, ps := range got { //simlint:ignore maprange — order-independent sum
 		total += len(ps)
 	}
 	if total != want {
@@ -309,7 +317,7 @@ func TestBusSerializesGlobally(t *testing.T) {
 func TestBusRoundRobinFairness(t *testing.T) {
 	// Saturating senders each get tenures; no starvation.
 	b := NewBus(DefaultBusConfig(4))
-	counts := map[int]int{}
+	counts := make([]int, 3)
 	for cyc := uint64(0); cyc < 3000; cyc++ {
 		for src := 0; src < 3; src++ {
 			b.Inject(Packet{Src: src, Dst: 3, Bytes: 8}, cyc)

@@ -74,6 +74,15 @@ func (p *Port[T]) Peek(now uint64) (T, bool) {
 	return p.q[0].msg, true
 }
 
+// Each calls f for every queued message in FIFO order together with its
+// not-before cycle. It is an inspection hook (used by the model checker
+// to fingerprint queue contents); f must not mutate the port.
+func (p *Port[T]) Each(f func(at uint64, msg T)) {
+	for i := range p.q {
+		f(p.q[i].at, p.q[i].msg)
+	}
+}
+
 // Len reports the number of queued messages, deliverable or not.
 func (p *Port[T]) Len() int { return len(p.q) }
 
