@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet lint race bench sweep mcheck
+.PHONY: all build test check fmt vet lint race bench benchjson sweep mcheck
 
 all: check
 
@@ -43,6 +43,12 @@ mcheck:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# benchjson runs the pinned benchmark set (cmd/bench) and writes the
+# measurements to BENCH.json (gitignored). To record a milestone, run
+# it with an explicit output: `go run ./cmd/bench -o BENCH_PRn.json`.
+benchjson:
+	$(GO) run ./cmd/bench -o BENCH.json
 
 sweep:
 	$(GO) run ./cmd/sweep -quick

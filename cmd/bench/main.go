@@ -1,0 +1,189 @@
+// Command bench runs the repository's pinned benchmark set and writes
+// the measurements as schema-versioned JSON, so simulator performance
+// can be tracked across changes (the committed BENCH_PR*.json files
+// are its output at each optimization milestone).
+//
+// The pinned set:
+//
+//   - engine throughput: simulated cycles per wall second on the
+//     16-CPU Ocean/WTI/Arch2 run (the same point as
+//     BenchmarkSimulatorThroughput);
+//   - workload pins: 16-CPU Ocean and Water under both WTI and
+//     WB-MESI, cycles and wall time each;
+//   - sweep wall-clock: the Figure 4–6 grid at reduced (-quick) scale,
+//     run serially and with -jobs workers, and the resulting speedup.
+//
+// Usage:
+//
+//	bench [-o BENCH.json] [-quick] [-jobs N]
+//
+// -quick shrinks the workload scale and the sweep axis for CI smoke
+// runs; the numbers are then only comparable with other -quick runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/coherence"
+	"repro/internal/exp"
+	"repro/internal/mem"
+)
+
+// BenchSchemaVersion identifies the JSON layout below.
+const BenchSchemaVersion = 1
+
+// BenchJSON is the export schema: one file per benchmark invocation.
+// Host fields record the environment the numbers were taken on —
+// wall-clock results are only comparable across runs on similar hosts,
+// and Jobs beyond NumCPU cannot speed anything up.
+type BenchJSON struct {
+	SchemaVersion int    `json:"schema_version"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	Quick         bool   `json:"quick"`
+
+	Engine    EngineBench     `json:"engine"`
+	Workloads []WorkloadBench `json:"workloads"`
+	Sweep     SweepBench      `json:"sweep"`
+}
+
+// EngineBench is the raw simulation-speed figure.
+type EngineBench struct {
+	Run           string  `json:"run"`
+	Cycles        uint64  `json:"cycles"`
+	WallMs        float64 `json:"wall_ms"`
+	MCyclesPerSec float64 `json:"mcycles_per_sec"`
+}
+
+// WorkloadBench is one pinned end-to-end run.
+type WorkloadBench struct {
+	Run           string  `json:"run"`
+	Cycles        uint64  `json:"cycles"`
+	WallMs        float64 `json:"wall_ms"`
+	MCyclesPerSec float64 `json:"mcycles_per_sec"`
+}
+
+// SweepBench compares the serial and parallel grid runners.
+type SweepBench struct {
+	Sizes      []int   `json:"sizes"`
+	Runs       int     `json:"runs"`
+	Jobs       int     `json:"jobs"`
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH.json", "output JSON path (- for stdout)")
+	quick := flag.Bool("quick", false, "reduced scale for CI smoke runs")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "workers for the parallel sweep measurement")
+	flag.Parse()
+
+	b := BenchJSON{
+		SchemaVersion: BenchSchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Quick:         *quick,
+	}
+
+	pinScale := exp.DefaultScale()
+	sweepSizes := []int{4, 16, 32, 64}
+	if *quick {
+		pinScale = exp.QuickScale()
+		sweepSizes = []int{2, 4}
+	}
+
+	// Workload pins; the first one doubles as the engine-throughput run.
+	pins := []exp.Run{
+		{Bench: exp.Ocean, Protocol: coherence.WTI, Arch: mem.Arch2, NumCPUs: 16},
+		{Bench: exp.Ocean, Protocol: coherence.WBMESI, Arch: mem.Arch2, NumCPUs: 16},
+		{Bench: exp.Water, Protocol: coherence.WTI, Arch: mem.Arch2, NumCPUs: 16},
+		{Bench: exp.Water, Protocol: coherence.WBMESI, Arch: mem.Arch2, NumCPUs: 16},
+	}
+	for i, r := range pins {
+		w, err := timeRun(r, pinScale)
+		if err != nil {
+			fatal(err)
+		}
+		b.Workloads = append(b.Workloads, w)
+		if i == 0 {
+			b.Engine = EngineBench(w)
+		}
+		fmt.Fprintf(os.Stderr, "bench: %-24s %9d cycles  %8.1f ms  %6.3f Mcyc/s\n",
+			w.Run, w.Cycles, w.WallMs, w.MCyclesPerSec)
+	}
+
+	// Sweep wall-clock: the figure grid, serial then parallel. The grid
+	// always runs at quick scale — the point is runner overhead and
+	// parallel speedup, not workload duration.
+	sweepScale := exp.QuickScale()
+	serialStart := time.Now()
+	if _, err := exp.Grid(sweepSizes, sweepScale); err != nil {
+		fatal(err)
+	}
+	serial := time.Since(serialStart)
+	parallelStart := time.Now()
+	if _, err := exp.GridParallel(sweepSizes, sweepScale, nil, *jobs); err != nil {
+		fatal(err)
+	}
+	parallel := time.Since(parallelStart)
+	b.Sweep = SweepBench{
+		Sizes:      sweepSizes,
+		Runs:       2 * 2 * 2 * len(sweepSizes), // bench × arch × proto × sizes
+		Jobs:       *jobs,
+		SerialMs:   ms(serial),
+		ParallelMs: ms(parallel),
+		Speedup:    serial.Seconds() / parallel.Seconds(),
+	}
+	fmt.Fprintf(os.Stderr, "bench: sweep %v  serial %.1f ms  parallel(%d) %.1f ms  speedup %.2fx\n",
+		sweepSizes, b.Sweep.SerialMs, *jobs, b.Sweep.ParallelMs, b.Sweep.Speedup)
+
+	enc, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
+}
+
+// timeRun executes one pinned run and measures its wall time (workload
+// build and result verification included, as in the go benchmarks).
+func timeRun(r exp.Run, sc exp.Scale) (WorkloadBench, error) {
+	start := time.Now()
+	res, err := exp.Execute(r, sc)
+	if err != nil {
+		return WorkloadBench{}, err
+	}
+	wall := time.Since(start)
+	return WorkloadBench{
+		Run:           r.Key(),
+		Cycles:        res.Cycles,
+		WallMs:        ms(wall),
+		MCyclesPerSec: float64(res.Cycles) / wall.Seconds() / 1e6,
+	}, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -5,13 +5,15 @@
 //
 //	sweep [-exp all|table1|table2|fig4|fig5|fig6|mesh|strictsc|bestworst|
 //	       writeupdate|c2c|scale|dir|bus|ways|moesi]
-//	      [-sizes 4,16,32,64] [-quick] [-csv] [-chart]
+//	      [-sizes 4,16,32,64] [-quick] [-csv] [-chart] [-jobs N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -24,6 +26,7 @@ func main() {
 	which := flag.String("exp", "all", "experiment to run: all, table1, table2, fig4, fig5, fig6, mesh, strictsc, bestworst, writeupdate, c2c, scale, dir, bus, ways, moesi")
 	sizesFlag := flag.String("sizes", "4,16,32,64", "comma-separated CPU counts for the figure grid")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "simulations to run concurrently on the figure grid (1 = serial)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	chart := flag.Bool("chart", false, "render figure tables as ASCII bar charts too")
 	obsInterval := flag.Uint64("obs-interval", 0, "sample metrics every K cycles during figure-grid runs")
@@ -65,7 +68,7 @@ func main() {
 	}
 
 	runFigures := func(names ...string) {
-		grid, err := exp.GridObserved(sizes, sc, observe)
+		grid, err := exp.GridParallel(sizes, sc, observe, *jobs)
 		if err != nil {
 			fatal(err)
 		}
@@ -218,15 +221,24 @@ func figureChart(t *stats.Table) string {
 	return stats.BarChart(t.Title, bars, 48)
 }
 
+// parseSizes parses the -sizes axis. Duplicates are dropped and the
+// counts are sorted ascending, so "16,4,16" yields the same grid (and
+// the same table rows, exactly once each) as "4,16".
 func parseSizes(s string) ([]int, error) {
+	seen := make(map[int]bool)
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n < 1 || n > 64 {
 			return nil, fmt.Errorf("bad CPU count %q (need 1..64)", part)
 		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
 		out = append(out, n)
 	}
+	sort.Ints(out)
 	return out, nil
 }
 

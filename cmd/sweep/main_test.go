@@ -1,0 +1,39 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseSizes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"4,16,32,64", []int{4, 16, 32, 64}},
+		{"16", []int{16}},
+		{" 8 , 2 ", []int{2, 8}},
+		// Duplicates collapse and the axis is sorted, so the grid and
+		// the figure tables contain each CPU count exactly once.
+		{"16,4,16", []int{4, 16}},
+		{"64,32,16,4,4", []int{4, 16, 32, 64}},
+	}
+	for _, c := range cases {
+		got, err := parseSizes(c.in)
+		if err != nil {
+			t.Errorf("parseSizes(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseSizes(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSizesRejectsBadInput(t *testing.T) {
+	for _, in := range []string{"", "0", "65", "-4", "four", "4,,8", "4;8"} {
+		if got, err := parseSizes(in); err == nil {
+			t.Errorf("parseSizes(%q) = %v, want error", in, got)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package coherence
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 )
 
 // LineState is the stable state of one cache line. WTI uses only
@@ -50,6 +51,16 @@ type cacheArray struct {
 	ways       int
 	numSets    int
 
+	// Shift/mask forms of the index arithmetic, valid when blockBytes
+	// and numSets are both powers of two (every standard geometry;
+	// setOf and tagOf sit on the per-access hot path and the divisors
+	// are not compile-time constants, so the strength reduction has to
+	// be done by hand).
+	pow2       bool
+	blockShift uint32
+	setMask    uint32
+	tagShift   uint32
+
 	state []LineState
 	tag   []uint32
 	lru   []uint64 // last-touch stamp per line
@@ -62,7 +73,7 @@ func newCacheArray(cacheBytes, blockBytes, ways int) *cacheArray {
 	if ways < 1 || lines%ways != 0 {
 		panic(fmt.Sprintf("coherence: %d lines cannot form %d-way sets", lines, ways))
 	}
-	return &cacheArray{
+	c := &cacheArray{
 		blockBytes: blockBytes,
 		ways:       ways,
 		numSets:    lines / ways,
@@ -71,15 +82,30 @@ func newCacheArray(cacheBytes, blockBytes, ways int) *cacheArray {
 		lru:        make([]uint64, lines),
 		data:       make([]byte, lines*blockBytes),
 	}
+	if isPow2(blockBytes) && isPow2(c.numSets) {
+		c.pow2 = true
+		c.blockShift = uint32(bits.TrailingZeros32(uint32(blockBytes)))
+		c.setMask = uint32(c.numSets - 1)
+		c.tagShift = c.blockShift + uint32(bits.TrailingZeros32(uint32(c.numSets)))
+	}
+	return c
 }
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
 // setOf returns the set selected by addr.
 func (c *cacheArray) setOf(addr uint32) int {
+	if c.pow2 {
+		return int((addr >> c.blockShift) & c.setMask)
+	}
 	return int(addr/uint32(c.blockBytes)) % c.numSets
 }
 
 // tagOf returns the tag portion of addr.
 func (c *cacheArray) tagOf(addr uint32) uint32 {
+	if c.pow2 {
+		return addr >> c.tagShift
+	}
 	return addr / uint32(c.blockBytes) / uint32(c.numSets)
 }
 

@@ -60,7 +60,7 @@ func (c *ICache) Fetch(now uint64, addr uint32) (uint32, bool) {
 }
 
 func (c *ICache) tryIssue(now uint64) {
-	if !c.pendActive || c.pendIssued {
+	if !c.pendActive || c.pendIssued || !c.node.CanSendReq() {
 		return
 	}
 	m := &Msg{Kind: ReqIFetch, Src: c.id, Addr: c.pendAddr}

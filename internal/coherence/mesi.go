@@ -149,7 +149,7 @@ func (c *MESICache) completePend(now uint64, addr uint32) {
 }
 
 func (c *MESICache) tryIssue(now uint64) {
-	if !c.pend.active || c.pend.issued {
+	if !c.pend.active || c.pend.issued || !c.node.CanSendReq() {
 		return
 	}
 	m := &Msg{Kind: c.pend.kind, Src: c.id, Addr: c.pend.blk}

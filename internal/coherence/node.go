@@ -77,14 +77,30 @@ func (n *Node) TrySendReq(m *Msg, dst int, notBefore uint64) bool {
 	return true
 }
 
+// CanSendReq reports whether a request-class message would be admitted
+// this cycle, without constructing one. A false result counts a send
+// stall exactly as a rejected TrySendReq would, so retry loops can ask
+// first and skip allocating a message that would only be discarded; a
+// true result guarantees an immediately following TrySendReq succeeds.
+func (n *Node) CanSendReq() bool {
+	if n.outQ.Len() >= n.ReqBound {
+		n.SendStallCycles++
+		return false
+	}
+	return true
+}
+
 // OutQueueLen reports the pending outbound messages (diagnostics).
 func (n *Node) OutQueueLen() int { return n.outQ.Len() }
 
 // Tick delivers arrived messages to the sink and drains the outbound
 // queue into the network.
 func (n *Node) Tick(now uint64) {
-	// Receive.
-	for n.sink.Accept(now) {
+	// Receive. The arrival check comes first: on the (common) cycles
+	// with nothing deliverable the sink is never consulted. Both sinks'
+	// Accept are pure queries, so the swapped order cannot change
+	// behaviour.
+	for n.net.Deliverable(n.ID, now) && n.sink.Accept(now) {
 		m, ok := n.net.Deliver(n.ID, now)
 		if !ok {
 			break
@@ -120,3 +136,10 @@ func (n *Node) Tick(now uint64) {
 
 // Idle reports whether the node has nothing left to send.
 func (n *Node) Idle() bool { return n.outQ.Empty() }
+
+// Quiescent reports whether Tick(now) would be a strict no-op: nothing
+// queued to send and nothing arriving from the network this cycle. It
+// is the engine-facing idle predicate (sim.Idler contract).
+func (n *Node) Quiescent(now uint64) bool {
+	return n.outQ.Empty() && !n.net.Deliverable(n.ID, now)
+}

@@ -224,9 +224,12 @@ func (c *WTICache) Swap(now uint64, addr uint32, newWord uint32) (uint32, bool) 
 	return 0, false
 }
 
-// tryIssue attempts to place the pending miss or swap on the wire.
+// tryIssue attempts to place the pending miss or swap on the wire. The
+// admission pre-check keeps backpressured retry cycles (which recur
+// every cycle until the queue drains) from allocating a message that
+// would only be rejected.
 func (c *WTICache) tryIssue(now uint64) {
-	if !c.pend.active || c.pend.issued {
+	if !c.pend.active || c.pend.issued || !c.node.CanSendReq() {
 		return
 	}
 	var m *Msg
@@ -244,7 +247,7 @@ func (c *WTICache) tryIssue(now uint64) {
 // write buffer (one write-through in flight at a time).
 func (c *WTICache) Tick(now uint64) {
 	c.tryIssue(now)
-	if e, ok := c.wb.NextToSend(); ok {
+	if e, ok := c.wb.NextToSend(); ok && c.node.CanSendReq() {
 		m := &Msg{Kind: ReqWriteThrough, Src: c.id, Addr: e.addr, Word: e.word, ByteEn: e.byteEn}
 		if c.node.TrySendReq(m, c.bankNode(e.addr), now) {
 			e.sent = true

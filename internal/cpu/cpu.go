@@ -71,6 +71,14 @@ type CPU struct {
 	busyUntil uint64
 	halted    bool
 
+	// One-entry decoded-instruction cache. isa.Decode is a pure
+	// function of the word, so reusing the previous decode is invisible
+	// to execution; it pays because stall retries and tight loops fetch
+	// the same word for many consecutive cycles.
+	lastWord  uint32
+	lastInstr isa.Instr
+	lastValid bool
+
 	// Obs, when attached, records stall runs as spans on this CPU's
 	// stall row. stallKind remembers the run in progress (0 none,
 	// 1 instruction, 2 data); it stays 0 while Obs is nil, so the hot
@@ -98,6 +106,7 @@ func (c *CPU) Reset(entry, sp uint32, numCPUs int) {
 	c.regs[RegSP] = sp
 	c.halted = false
 	c.busyUntil = 0
+	c.lastValid = false
 }
 
 // Halted reports whether the core has executed HALT.
@@ -136,7 +145,15 @@ func (c *CPU) Tick(now uint64) {
 		c.noteStall(now, 1)
 		return
 	}
-	in := isa.Decode(word)
+	var in isa.Instr
+	if c.lastValid && word == c.lastWord {
+		in = c.lastInstr
+	} else {
+		in = isa.Decode(word)
+		c.lastWord = word
+		c.lastInstr = in
+		c.lastValid = true
+	}
 	if in.Op == isa.OpInvalid {
 		panic(fmt.Sprintf("cpu %d: illegal instruction %#08x at pc=%#x", c.ID, word, c.pc))
 	}

@@ -199,21 +199,32 @@ func Grid(sizes []int, sc Scale) (map[Run]*core.Result, error) {
 // GridObserved is Grid with per-run observability (see ExecuteObserved).
 func GridObserved(sizes []int, sc Scale, o *Observe) (map[Run]*core.Result, error) {
 	out := make(map[Run]*core.Result)
+	for _, r := range gridRuns(sizes) {
+		res, err := ExecuteObserved(r, sc, o)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = res
+	}
+	return out, nil
+}
+
+// gridRuns enumerates the Figure 4–6 grid points in their canonical
+// order (bench, then architecture, then protocol, then CPU count). Both
+// the serial and the parallel grid runner draw from this one list, so
+// they cover — and on error, report — identical work.
+func gridRuns(sizes []int) []Run {
+	var runs []Run
 	for _, bench := range []Bench{Ocean, Water} {
 		for _, arch := range []mem.Arch{mem.Arch1, mem.Arch2} {
 			for _, proto := range []coherence.Protocol{coherence.WTI, coherence.WBMESI} {
 				for _, n := range sizes {
-					r := Run{Bench: bench, Protocol: proto, Arch: arch, NumCPUs: n}
-					res, err := ExecuteObserved(r, sc, o)
-					if err != nil {
-						return nil, err
-					}
-					out[r] = res
+					runs = append(runs, Run{Bench: bench, Protocol: proto, Arch: arch, NumCPUs: n})
 				}
 			}
 		}
 	}
-	return out, nil
+	return runs
 }
 
 // PaperSizes is the paper's processor-count axis (Table 2).

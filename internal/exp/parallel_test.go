@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// TestGridParallelMatchesSerial is the contract of the parallel runner:
+// running the grid concurrently must be invisible in the output. Every
+// figure table and every per-run result JSON must come out byte for
+// byte identical to the serial runner's.
+func TestGridParallelMatchesSerial(t *testing.T) {
+	sizes := []int{2, 4}
+	sc := QuickScale()
+
+	serial, err := Grid(sizes, sc)
+	if err != nil {
+		t.Fatalf("serial grid: %v", err)
+	}
+	parallel, err := GridParallel(sizes, sc, nil, 4)
+	if err != nil {
+		t.Fatalf("parallel grid: %v", err)
+	}
+
+	figures := []struct {
+		name  string
+		build func(map[Run]*core.Result, []int) *stats.Table
+	}{
+		{"fig4", Fig4},
+		{"fig5", Fig5},
+		{"fig6", Fig6},
+	}
+	for _, f := range figures {
+		s := f.build(serial, sizes)
+		p := f.build(parallel, sizes)
+		if s.CSV() != p.CSV() {
+			t.Errorf("%s: parallel CSV differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				f.name, s.CSV(), p.CSV())
+		}
+		if s.Render() != p.Render() {
+			t.Errorf("%s: parallel table differs from serial", f.name)
+		}
+	}
+
+	for _, r := range gridRuns(sizes) {
+		sres, pres := serial[r], parallel[r]
+		if sres == nil || pres == nil {
+			t.Fatalf("%s: missing result (serial=%v parallel=%v)", r.Key(), sres != nil, pres != nil)
+		}
+		var sbuf, pbuf bytes.Buffer
+		if err := sres.WriteJSON(&sbuf); err != nil {
+			t.Fatalf("%s: serial json: %v", r.Key(), err)
+		}
+		if err := pres.WriteJSON(&pbuf); err != nil {
+			t.Fatalf("%s: parallel json: %v", r.Key(), err)
+		}
+		if !bytes.Equal(sbuf.Bytes(), pbuf.Bytes()) {
+			t.Errorf("%s: result JSON differs:\n--- serial ---\n%s--- parallel ---\n%s",
+				r.Key(), sbuf.String(), pbuf.String())
+		}
+	}
+}
+
+// TestGridParallelJobClamping checks the degenerate worker counts: one
+// job falls back to the serial path, and more jobs than grid points
+// must not deadlock or drop results.
+func TestGridParallelJobClamping(t *testing.T) {
+	sizes := []int{2}
+	sc := QuickScale()
+	for _, jobs := range []int{1, 64} {
+		grid, err := GridParallel(sizes, sc, nil, jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if got, want := len(grid), len(gridRuns(sizes)); got != want {
+			t.Fatalf("jobs=%d: %d results, want %d", jobs, got, want)
+		}
+	}
+}

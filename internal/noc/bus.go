@@ -106,6 +106,12 @@ func (b *Bus) Tick(now uint64) {
 	}
 }
 
+// Deliverable implements Network.
+func (b *Bus) Deliverable(node int, now uint64) bool {
+	q := b.out[node]
+	return len(q) != 0 && q[0].readyAt <= now
+}
+
 // Deliver implements Network.
 func (b *Bus) Deliver(node int, now uint64) (Packet, bool) {
 	q := b.out[node]

@@ -133,6 +133,12 @@ func (g *GMN) Tick(now uint64) {
 	}
 }
 
+// Deliverable implements Network.
+func (g *GMN) Deliverable(node int, now uint64) bool {
+	d := &g.dst[node]
+	return len(d.queue) != 0 && d.queue[0].readyAt <= now
+}
+
 // Deliver implements Network.
 func (g *GMN) Deliver(node int, now uint64) (Packet, bool) {
 	d := &g.dst[node]

@@ -181,6 +181,12 @@ func (m *Mesh) Tick(now uint64) {
 	}
 }
 
+// Deliverable implements Network.
+func (m *Mesh) Deliverable(node int, now uint64) bool {
+	q := m.out[node]
+	return len(q) != 0 && q[0].readyAt <= now
+}
+
 // Deliver implements Network.
 func (m *Mesh) Deliver(node int, now uint64) (Packet, bool) {
 	q := m.out[node]

@@ -61,6 +61,10 @@ type Network interface {
 	// Deliver pops the next packet that has fully arrived at node by
 	// cycle now, if any.
 	Deliver(node int, now uint64) (Packet, bool)
+	// Deliverable reports whether Deliver(node, now) would return a
+	// packet, without popping it or touching any statistics. Endpoints
+	// use it as a cheap pre-check before consulting their sink.
+	Deliverable(node int, now uint64) bool
 	// Tick advances internal state by one cycle.
 	Tick(now uint64)
 	// Quiet reports whether no packets are in flight or queued.

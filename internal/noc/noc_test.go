@@ -74,6 +74,46 @@ func TestDelivery(t *testing.T) {
 	}
 }
 
+func TestDeliverableAgreesWithDeliver(t *testing.T) {
+	// Deliverable must predict Deliver exactly at every cycle, on every
+	// model, without consuming the packet.
+	for _, nc := range nets(4) {
+		t.Run(nc.name, func(t *testing.T) {
+			n := nc.mk()
+			if n.Deliverable(3, 0) {
+				t.Fatal("idle network claims a deliverable packet")
+			}
+			if !n.Inject(Packet{Src: 0, Dst: 3, Bytes: 8, Payload: "p"}, 0) {
+				t.Fatal("inject refused")
+			}
+			delivered := false
+			for cyc := uint64(0); cyc < 1000 && !delivered; cyc++ {
+				n.Tick(cyc)
+				can := n.Deliverable(3, cyc)
+				if can != n.Deliverable(3, cyc) {
+					t.Fatalf("cycle %d: Deliverable not idempotent", cyc)
+				}
+				p, ok := n.Deliver(3, cyc)
+				if can != ok {
+					t.Fatalf("cycle %d: Deliverable=%v but Deliver=%v", cyc, can, ok)
+				}
+				if ok {
+					if p.Payload != "p" {
+						t.Fatalf("wrong packet %v", p)
+					}
+					delivered = true
+				}
+			}
+			if !delivered {
+				t.Fatal("packet never delivered")
+			}
+			if !n.Quiet() {
+				t.Fatal("network not quiet after delivery")
+			}
+		})
+	}
+}
+
 func TestMinimumLatency(t *testing.T) {
 	// A GMN packet is never visible before serialization + delay.
 	cfg := GMNConfig{Nodes: 4, Delay: 10, FIFODepth: 4, SrcDepth: 4}

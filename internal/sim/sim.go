@@ -25,12 +25,44 @@ type TickFunc func(now uint64)
 // Tick implements Ticker.
 func (f TickFunc) Tick(now uint64) { f(now) }
 
+// Idler is the optional quiescence interface: a Ticker that also
+// implements Idler is skipped on every cycle for which Idle reports
+// true. Idle must be true only when Tick(now) would change no
+// observable state — neither simulation state nor statistics — so a
+// skipped tick is indistinguishable from an executed one and
+// determinism is preserved. Idle itself must not mutate anything.
+type Idler interface {
+	Ticker
+	Idle(now uint64) bool
+}
+
+// idleTicker pairs a tick function with an idleness predicate.
+type idleTicker struct {
+	tick func(now uint64)
+	idle func(now uint64) bool
+}
+
+func (t idleTicker) Tick(now uint64)      { t.tick(now) }
+func (t idleTicker) Idle(now uint64) bool { return t.idle(now) }
+
+// TickerWithIdle adapts a tick function and an idleness predicate to
+// the Idler interface, for tickers built from closures (TickFunc alone
+// cannot express quiescence). The Idler contract applies: idle must be
+// true only when tick(now) would be a strict no-op.
+func TickerWithIdle(tick func(now uint64), idle func(now uint64) bool) Ticker {
+	return idleTicker{tick: tick, idle: idle}
+}
+
 // Engine drives a set of Tickers cycle by cycle.
 type Engine struct {
-	now       uint64
-	tickers   []Ticker
+	now     uint64
+	tickers []Ticker
+	// idlers[i] is non-nil when tickers[i] implements Idler; the
+	// parallel slice keeps Step free of per-cycle type assertions.
+	idlers    []Idler
 	names     []string
 	periodics []periodic
+	skipped   uint64
 }
 
 // periodic is a sampling hook run every interval cycles, after all
@@ -50,8 +82,14 @@ func (e *Engine) Now() uint64 { return e.now }
 // registration order. The name is used in diagnostics only.
 func (e *Engine) Register(name string, t Ticker) {
 	e.tickers = append(e.tickers, t)
+	id, _ := t.(Idler)
+	e.idlers = append(e.idlers, id)
 	e.names = append(e.names, name)
 }
+
+// SkippedTicks reports how many ticks were skipped via Idle (diagnostics
+// and tests; skipping is invisible to the simulation itself).
+func (e *Engine) SkippedTicks() uint64 { return e.skipped }
 
 // Every registers fn to run each time interval further cycles have
 // completed (at cycles interval, 2*interval, ...), after every ticker
@@ -68,7 +106,11 @@ func (e *Engine) Every(interval uint64, fn func(now uint64)) {
 // Step advances the simulation by exactly one cycle.
 func (e *Engine) Step() {
 	now := e.now
-	for _, t := range e.tickers {
+	for i, t := range e.tickers {
+		if id := e.idlers[i]; id != nil && id.Idle(now) {
+			e.skipped++
+			continue
+		}
 		t.Tick(now)
 	}
 	e.now++

@@ -42,13 +42,106 @@ func TestEngineRunUntilDone(t *testing.T) {
 
 func TestEngineDeadline(t *testing.T) {
 	e := NewEngine()
-	_, err := e.Run(5, func() bool { return false })
+	ticks := 0
+	e.Register("t", TickFunc(func(now uint64) { ticks++ }))
+	cycles, err := e.Run(5, func() bool { return false })
 	var dl *ErrDeadline
 	if !errors.As(err, &dl) {
 		t.Fatalf("err = %v, want ErrDeadline", err)
 	}
 	if dl.Cycles != 5 {
 		t.Fatalf("deadline cycles = %d", dl.Cycles)
+	}
+	if cycles != 5 || ticks != 5 {
+		t.Fatalf("cycles=%d ticks=%d, want 5 each", cycles, ticks)
+	}
+	if dl.Error() == "" {
+		t.Fatal("empty deadline message")
+	}
+	// The deadline leaves the engine usable: a later Run resumes from
+	// the current cycle with a fresh budget.
+	done := false
+	e.Register("d", TickFunc(func(now uint64) { done = now >= 7 }))
+	cycles, err = e.Run(5, func() bool { return done })
+	// Resumes at cycle 5; the ticker first sees now=7 on the third step.
+	if err != nil || cycles != 3 {
+		t.Fatalf("resumed Run = %d, %v", cycles, err)
+	}
+}
+
+func TestEngineDeadlineNotHitWhenDoneFirst(t *testing.T) {
+	// done is checked before the budget, so finishing exactly at
+	// maxCycles is success, not ErrDeadline.
+	e := NewEngine()
+	count := 0
+	e.Register("c", TickFunc(func(now uint64) { count++ }))
+	cycles, err := e.Run(3, func() bool { return count >= 3 })
+	if err != nil || cycles != 3 {
+		t.Fatalf("Run = %d, %v; want 3, nil", cycles, err)
+	}
+}
+
+func TestEngineEveryRunsAfterTickersOfItsCycle(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Register("t", TickFunc(func(now uint64) {
+		order = append(order, "tick")
+	}))
+	e.Every(2, func(now uint64) {
+		// The hook sees the cycle count *after* the tickers of the
+		// completed cycle: it fires at cycles 2, 4, ...
+		if now%2 != 0 {
+			t.Errorf("hook at now=%d, want multiple of 2", now)
+		}
+		order = append(order, "every")
+	})
+	for i := 0; i < 4; i++ {
+		e.Step()
+	}
+	want := []string{"tick", "tick", "every", "tick", "tick", "every"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineIdleSkip(t *testing.T) {
+	e := NewEngine()
+	idle := false
+	var ticks, plainTicks int
+	e.Register("skippable", TickerWithIdle(
+		func(now uint64) { ticks++ },
+		func(now uint64) bool { return idle },
+	))
+	e.Register("plain", TickFunc(func(now uint64) { plainTicks++ }))
+
+	e.Step()
+	e.Step()
+	if ticks != 2 || e.SkippedTicks() != 0 {
+		t.Fatalf("busy phase: ticks=%d skipped=%d", ticks, e.SkippedTicks())
+	}
+	idle = true
+	e.Step()
+	e.Step()
+	if ticks != 2 {
+		t.Fatalf("idle ticker still ran: ticks=%d", ticks)
+	}
+	if e.SkippedTicks() != 2 {
+		t.Fatalf("skipped = %d, want 2", e.SkippedTicks())
+	}
+	// Only the Idler is skipped; other tickers and the cycle count
+	// advance as always.
+	if plainTicks != 4 || e.Now() != 4 {
+		t.Fatalf("plainTicks=%d now=%d", plainTicks, e.Now())
+	}
+	idle = false
+	e.Step()
+	if ticks != 3 {
+		t.Fatalf("ticker did not resume: ticks=%d", ticks)
 	}
 }
 

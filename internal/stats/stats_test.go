@@ -80,6 +80,27 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+func TestTableCSVQuoting(t *testing.T) {
+	// RFC 4180: cells containing commas, quotes, or line breaks must be
+	// quoted (with embedded quotes doubled) or the row structure breaks.
+	tb := NewTable("demo", "label", "note")
+	tb.AddRow("ocean, 16 cpus", `said "fast"`)
+	tb.AddRow("multi\nline", "plain")
+	got := tb.CSV()
+	want := "label,note\n" +
+		`"ocean, 16 cpus","said ""fast"""` + "\n" +
+		"\"multi\nline\",plain\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+	// Unquoted cells stay verbatim — existing output is unchanged.
+	plain := NewTable("", "a", "b")
+	plain.AddRow(1, "x")
+	if plain.CSV() != "a,b\n1,x\n" {
+		t.Fatalf("plain CSV changed: %q", plain.CSV())
+	}
+}
+
 func TestTableFloat32Formatting(t *testing.T) {
 	tb := NewTable("", "v")
 	tb.AddRow(float32(1.5))

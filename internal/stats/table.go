@@ -82,13 +82,31 @@ func (t *Table) Render() string {
 }
 
 // CSV returns the table as comma-separated values with a header row.
+// Cells containing a comma, quote, or line break are quoted per RFC
+// 4180 (quotes doubled), so titles and labels can never corrupt the
+// row structure.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Headers, ","))
-	b.WriteByte('\n')
-	for _, r := range t.rows {
-		b.WriteString(strings.Join(r, ","))
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvCell(c))
+		}
 		b.WriteByte('\n')
 	}
+	writeRow(t.Headers)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
 	return b.String()
+}
+
+// csvCell escapes one CSV field per RFC 4180.
+func csvCell(c string) string {
+	if !strings.ContainsAny(c, ",\"\n\r") {
+		return c
+	}
+	return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
 }
