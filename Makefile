@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet lint race bench benchjson sweep mcheck
+.PHONY: all build test check fmt vet lint race bench benchjson sweep mcheck soak
 
 all: check
 
@@ -32,9 +32,15 @@ lint:
 	$(GO) run ./cmd/simlint
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/stats/...
+	$(GO) test -race ./internal/sim/... ./internal/stats/... ./internal/fault/...
 
 check: fmt vet lint build test race
+
+# soak runs the nightly fault-injection tier: the full campaign grid on
+# real workloads (see internal/fault/soak_full_test.go). The quick tier
+# is part of the ordinary `make test`.
+soak:
+	$(GO) test -tags soak ./internal/fault/ -run TestSoakFull -v
 
 # mcheck exhaustively model-checks the default small scope for both of
 # the paper's write policies, driving the real cache/directory code.

@@ -86,6 +86,9 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced scale for CI smoke runs")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "workers for the parallel sweep measurement")
 	flag.Parse()
+	if err := rejectPositional(flag.Args()); err != nil {
+		fatal(err)
+	}
 
 	b := BenchJSON{
 		SchemaVersion: BenchSchemaVersion,
@@ -182,6 +185,17 @@ func timeRun(r exp.Run, sc exp.Scale) (WorkloadBench, error) {
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// rejectPositional refuses leftover positional arguments. Every option
+// here is a flag, so a stray token is almost always a typo'd or
+// misplaced flag (`bench -quick -o` leaving "out.json" positional);
+// silently ignoring it would run a different benchmark than asked.
+func rejectPositional(args []string) error {
+	if len(args) > 0 {
+		return fmt.Errorf("unexpected argument %q (all options are flags; see -h)", args[0])
+	}
+	return nil
+}
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "bench:", err)

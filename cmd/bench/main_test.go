@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestRejectPositional(t *testing.T) {
+	if err := rejectPositional(nil); err != nil {
+		t.Errorf("no leftover args: %v", err)
+	}
+	// `bench -o -quick` swallows "-quick" as the -o value and leaves any
+	// later token positional; it must be refused, not silently ignored.
+	for _, args := range [][]string{{"out.json"}, {"-quick"}, {"extra", "args"}} {
+		if err := rejectPositional(args); err == nil {
+			t.Errorf("rejectPositional(%q) = nil, want error", args)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 //
 //	mcsim [-bench ocean|water|counter] [-protocol wti|wb] [-arch 1|2]
 //	      [-cpus N] [-noc gmn|mesh] [-strict] [-v]
+//	      [-fault drop=1e-4,delay=1e-3:8,seed=42]
 package main
 
 import (
@@ -16,11 +17,22 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/coherence"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
+
+// rejectPositional refuses leftover positional arguments: every option
+// is a flag, so a stray token is almost always a misplaced flag and
+// silently ignoring it would simulate a different point than asked.
+func rejectPositional(args []string) error {
+	if len(args) > 0 {
+		return fmt.Errorf("unexpected argument %q (all options are flags; see -h)", args[0])
+	}
+	return nil
+}
 
 func main() {
 	bench := flag.String("bench", "ocean", "workload: ocean, water, lu or counter")
@@ -47,7 +59,11 @@ func main() {
 	steps := flag.Int("steps", 3, "water: time steps")
 	incs := flag.Int("incs", 100, "counter: increments per thread")
 	lurows := flag.Int("lurows", 3, "lu: matrix rows per processor")
+	faultSpec := flag.String("fault", "", "seeded NoC fault campaign, e.g. drop=1e-4,delay=1e-3:8,seed=42 (empty = no faults)")
 	flag.Parse()
+	if err := rejectPositional(flag.Args()); err != nil {
+		log.Fatal(err)
+	}
 
 	var proto coherence.Protocol
 	switch *protoFlag {
@@ -111,6 +127,13 @@ func main() {
 	cfg.Mem.RowBytes = *rowBytes
 	cfg.Mem.Ways = *ways
 	cfg.Mem.CacheToCache = *c2c
+	if *faultSpec != "" {
+		plan, err := fault.ParsePlan(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Fault = plan
+	}
 	sys, err := core.Build(cfg, spec.Image)
 	if err != nil {
 		log.Fatal(err)

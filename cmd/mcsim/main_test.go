@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestRejectPositional(t *testing.T) {
+	if err := rejectPositional(nil); err != nil {
+		t.Errorf("no leftover args: %v", err)
+	}
+	// A forgotten flag value (`mcsim -fault -cpus 4`) leaves later
+	// tokens positional; they must be refused, not silently ignored.
+	for _, args := range [][]string{{"ocean"}, {"-cpus"}, {"4", "-v"}} {
+		if err := rejectPositional(args); err == nil {
+			t.Errorf("rejectPositional(%q) = nil, want error", args)
+		}
+	}
+}

@@ -4,8 +4,14 @@
 // Usage:
 //
 //	sweep [-exp all|table1|table2|fig4|fig5|fig6|mesh|strictsc|bestworst|
-//	       writeupdate|c2c|scale|dir|bus|ways|moesi]
+//	       writeupdate|c2c|scale|dir|bus|ways|moesi|fault]
 //	      [-sizes 4,16,32,64] [-quick] [-csv] [-chart] [-jobs N]
+//	      [-fault drop=1e-4,delay=1e-3:8,seed=42]
+//
+// The fault experiment is not part of -exp all: it measures robustness
+// under injected NoC faults (see internal/fault), not the paper's
+// figures, and keeping it out preserves the byte-identical default
+// output the regression tests pin.
 package main
 
 import (
@@ -23,7 +29,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run: all, table1, table2, fig4, fig5, fig6, mesh, strictsc, bestworst, writeupdate, c2c, scale, dir, bus, ways, moesi")
+	which := flag.String("exp", "all", "experiment to run: all, table1, table2, fig4, fig5, fig6, mesh, strictsc, bestworst, writeupdate, c2c, scale, dir, bus, ways, moesi, fault")
 	sizesFlag := flag.String("sizes", "4,16,32,64", "comma-separated CPU counts for the figure grid")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "simulations to run concurrently on the figure grid (1 = serial)")
@@ -31,7 +37,11 @@ func main() {
 	chart := flag.Bool("chart", false, "render figure tables as ASCII bar charts too")
 	obsInterval := flag.Uint64("obs-interval", 0, "sample metrics every K cycles during figure-grid runs")
 	obsDir := flag.String("obs-dir", "", "directory for per-run interval CSVs (needs -obs-interval)")
+	faultSpec := flag.String("fault", "", "fault campaign spec for -exp fault (default: the built-in grid); e.g. drop=1e-4,delay=1e-3:8,seed=42")
 	flag.Parse()
+	if err := rejectPositional(flag.Args()); err != nil {
+		fatal(err)
+	}
 
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {
@@ -158,6 +168,17 @@ func main() {
 		}
 		emit(t)
 	}
+	runFault := func() {
+		specs := exp.DefaultFaultSpecs()
+		if *faultSpec != "" {
+			specs = []string{*faultSpec}
+		}
+		t, err := exp.FaultCampaign(4, sc, specs)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
 
 	switch *which {
 	case "all":
@@ -200,6 +221,8 @@ func main() {
 		runWays()
 	case "moesi":
 		runMOESI()
+	case "fault":
+		runFault()
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *which))
 	}
@@ -228,7 +251,11 @@ func parseSizes(s string) ([]int, error) {
 	seen := make(map[int]bool)
 	var out []int
 	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
+		part = strings.TrimSpace(part)
+		if strings.HasPrefix(part, "-") {
+			return nil, fmt.Errorf("bad CPU count %q in -sizes: looks like a flag, not a count", part)
+		}
+		n, err := strconv.Atoi(part)
 		if err != nil || n < 1 || n > 64 {
 			return nil, fmt.Errorf("bad CPU count %q (need 1..64)", part)
 		}
@@ -240,6 +267,16 @@ func parseSizes(s string) ([]int, error) {
 	}
 	sort.Ints(out)
 	return out, nil
+}
+
+// rejectPositional refuses leftover positional arguments: every option
+// is a flag, so a stray token is almost always a misplaced flag and
+// silently ignoring it would run a different sweep than asked.
+func rejectPositional(args []string) error {
+	if len(args) > 0 {
+		return fmt.Errorf("unexpected argument %q (all options are flags; see -h)", args[0])
+	}
+	return nil
 }
 
 func fatal(err error) {

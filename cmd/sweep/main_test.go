@@ -2,6 +2,7 @@ package main
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -34,6 +35,33 @@ func TestParseSizesRejectsBadInput(t *testing.T) {
 	for _, in := range []string{"", "0", "65", "-4", "four", "4,,8", "4;8"} {
 		if got, err := parseSizes(in); err == nil {
 			t.Errorf("parseSizes(%q) = %v, want error", in, got)
+		}
+	}
+}
+
+func TestRejectPositional(t *testing.T) {
+	if err := rejectPositional(nil); err != nil {
+		t.Errorf("no leftover args: %v", err)
+	}
+	for _, args := range [][]string{{"fig4"}, {"-quick"}, {"4,16"}} {
+		if err := rejectPositional(args); err == nil {
+			t.Errorf("rejectPositional(%q) = nil, want error", args)
+		}
+	}
+}
+
+// A flag token leaking into the -sizes value (e.g. `-sizes -quick` with
+// the intended axis forgotten) must be called out as a misplaced flag,
+// not reported as a generic bad count.
+func TestParseSizesRejectsFlagTokens(t *testing.T) {
+	for _, in := range []string{"-quick", "4,-jobs", "-exp", "-sizes", "--chart,8"} {
+		got, err := parseSizes(in)
+		if err == nil {
+			t.Errorf("parseSizes(%q) = %v, want error", in, got)
+			continue
+		}
+		if !strings.Contains(err.Error(), "looks like a flag") {
+			t.Errorf("parseSizes(%q) error %q does not identify the token as a flag", in, err)
 		}
 	}
 }

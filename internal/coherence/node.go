@@ -41,6 +41,23 @@ type Node struct {
 	// ReqBound is the admission bound for request-class messages.
 	ReqBound int
 
+	// Retry bounds the retransmission loop run when the network loses a
+	// transfer (drops only happen under fault injection; on a reliable
+	// network the retry state machine never leaves its idle state).
+	Retry RetryPolicy
+	// drops is the network's loss-notification interface, nil on
+	// reliable networks. The retry FSM below is armed only when non-nil.
+	drops noc.DropNotifier
+	// attempts counts losses of the current head-of-line transfer
+	// (0 = FSM idle); nextTry is the cycle the next re-offer is allowed;
+	// retryStart is when the first loss happened (retry latency).
+	attempts   int
+	nextTry    uint64
+	retryStart uint64
+	// retryErr latches the liveness failure when attempts exceeds the
+	// budget; the engine watchdog polls it via RetryErr.
+	retryErr error
+
 	// Trace, when non-nil, observes every message this node receives
 	// ("rx") and injects ("tx") — the protocol event log.
 	Trace func(now uint64, dir string, self, peer int, m *Msg)
@@ -53,12 +70,26 @@ type Node struct {
 	SendStallCycles uint64
 	MsgsSent        uint64
 	MsgsReceived    uint64
+	// Retransmits counts transfers lost on the wire and re-offered;
+	// BackoffCycles counts cycles the port held its queue in backoff.
+	Retransmits   uint64
+	BackoffCycles uint64
 }
 
-// NewNode attaches a node to the network.
+// NewNode attaches a node to the network. If the network reports
+// transfer losses (noc.DropNotifier — the fault-injection wrapper
+// does), the node arms its retransmission state machine with
+// DefaultRetryPolicy.
 func NewNode(id int, net noc.Network, sink Sink) *Node {
-	return &Node{ID: id, net: net, sink: sink, outQ: sim.NewPort[outMsg](0), ReqBound: 4}
+	n := &Node{ID: id, net: net, sink: sink, outQ: sim.NewPort[outMsg](0), ReqBound: 4,
+		Retry: DefaultRetryPolicy}
+	n.drops, _ = net.(noc.DropNotifier)
+	return n
 }
+
+// RetryErr reports the latched liveness failure (nil while the port is
+// within budget); the engine watchdog polls it each cycle.
+func (n *Node) RetryErr() error { return n.retryErr }
 
 // SendCtrl enqueues a control-class message (always admitted) for dst,
 // not injectable before cycle notBefore.
@@ -113,15 +144,32 @@ func (n *Node) Tick(now uint64) {
 		n.sink.HandleMsg(msg, now)
 	}
 	// Send, preserving FIFO order (the port enforces it even when a
-	// later message has an earlier not-before cycle).
+	// later message has an earlier not-before cycle). The
+	// retransmission FSM gates the head: while a lost transfer backs
+	// off, nothing from this port enters the network — head-of-line
+	// blocking is what keeps the per-(src,dst) FIFO guarantee intact
+	// across retransmissions.
 	for {
 		head, ok := n.outQ.Peek(now)
 		if !ok {
 			break
 		}
+		if n.attempts > 0 && now < n.nextTry {
+			n.BackoffCycles++
+			break
+		}
 		pkt := noc.Packet{Src: n.ID, Dst: head.dst, Bytes: head.msg.WireBytes(), Payload: head.msg}
 		if !n.net.Inject(pkt, now) {
+			if n.drops != nil && n.drops.TookDrop(n.ID) {
+				n.transferLost(head, now)
+			}
 			break
+		}
+		if n.attempts > 0 {
+			// The retransmission went through; record how long the
+			// transfer fought the wire and return the FSM to idle.
+			n.Obs.Lat(obs.LatRetry, now-n.retryStart)
+			n.attempts = 0
 		}
 		if n.Trace != nil {
 			n.Trace(now, "tx", n.ID, head.dst, head.msg)
@@ -132,6 +180,25 @@ func (n *Node) Tick(now uint64) {
 		n.MsgsSent++
 		n.outQ.Recv(now)
 	}
+}
+
+// transferLost runs the retry FSM on a loss notification: schedule the
+// re-offer of the (still queued) head with exponential backoff, and
+// latch the liveness failure once the budget is spent. The port keeps
+// retransmitting even past the budget — the watchdog, not the port,
+// decides to stop the run, and a latched diagnostic must not deadlock
+// a run that has no watchdog attached.
+func (n *Node) transferLost(head outMsg, now uint64) {
+	if n.attempts == 0 {
+		n.retryStart = now
+	}
+	n.attempts++
+	n.Retransmits++
+	if n.attempts > n.Retry.Budget && n.retryErr == nil {
+		n.retryErr = &LivenessError{Node: n.ID, Dst: head.dst, Kind: head.msg.Kind,
+			Addr: head.msg.Addr, Attempts: n.attempts, Cycle: now}
+	}
+	n.nextTry = now + n.Retry.Backoff(n.attempts)
 }
 
 // Idle reports whether the node has nothing left to send.

@@ -1,0 +1,80 @@
+package coherence
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrLivenessBudget is the sentinel a liveness failure wraps: a node
+// port retransmitted one transfer more times than its budget allows.
+// Under the fault model (internal/fault) every drop is survivable, so
+// hitting the budget means the campaign is harsher than the protocols
+// are provisioned for — the run must fail fast with a replayable
+// diagnostic rather than limp on or hang.
+var ErrLivenessBudget = errors.New("retransmission budget exceeded")
+
+// LivenessError is the replayable diagnostic of a budget exhaustion:
+// which port, which transfer, how many attempts, when. It wraps
+// ErrLivenessBudget (errors.Is matches).
+type LivenessError struct {
+	// Node and Dst are the NoC endpoints of the failing transfer.
+	Node int
+	Dst  int
+	// Kind and Addr identify the protocol message (the "transaction id"
+	// of the diagnostic: a message kind plus its block address).
+	Kind MsgKind
+	Addr uint32
+	// Attempts is the number of retransmissions consumed.
+	Attempts int
+	// Cycle is when the budget ran out.
+	Cycle uint64
+}
+
+// Error implements error.
+func (e *LivenessError) Error() string {
+	return fmt.Sprintf("coherence: node %d: %s addr=%#x to node %d: %v after %d attempts at cycle %d",
+		e.Node, e.Kind, e.Addr, e.Dst, ErrLivenessBudget, e.Attempts, e.Cycle)
+}
+
+// Unwrap implements errors.Unwrap.
+func (e *LivenessError) Unwrap() error { return ErrLivenessBudget }
+
+// RetryPolicy bounds the link-level retransmission loop a Node runs
+// when the network reports a transfer lost (noc.DropNotifier): after
+// the attempt-th loss of the same transfer the port holds off
+// Backoff(attempt) cycles before re-offering it, and after Budget
+// losses of one transfer it declares a liveness failure.
+type RetryPolicy struct {
+	// Base is the hold-off after the first loss, in cycles.
+	Base uint64
+	// Cap bounds the exponential growth of the hold-off.
+	Cap uint64
+	// Budget is the number of retransmissions of one transfer allowed
+	// before the port gives up with ErrLivenessBudget.
+	Budget int
+}
+
+// DefaultRetryPolicy provisions the ports for the fault campaigns of
+// the experiment suite: 8-cycle first hold-off (about one NoC crossing),
+// doubling to a 1024-cycle ceiling, 16 attempts per transfer — enough
+// that even drop=0.5 campaigns survive, while a pathological plan
+// (drop=1 on a link) fails fast within ~10k cycles.
+var DefaultRetryPolicy = RetryPolicy{Base: 8, Cap: 1024, Budget: 16}
+
+// Backoff returns the hold-off before re-offering a transfer that was
+// lost attempt times (attempt >= 1): Base doubled per further loss,
+// clamped to Cap.
+func (p RetryPolicy) Backoff(attempt int) uint64 {
+	if attempt < 1 {
+		return 0
+	}
+	// Shifting past 63 bits would wrap; anything that far is over Cap.
+	if attempt-1 >= 63 {
+		return p.Cap
+	}
+	b := p.Base << (attempt - 1)
+	if b > p.Cap || b>>(attempt-1) != p.Base {
+		return p.Cap
+	}
+	return b
+}

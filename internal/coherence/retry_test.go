@@ -1,0 +1,192 @@
+package coherence
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/obs"
+)
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	def := DefaultRetryPolicy
+	cases := []struct {
+		name    string
+		policy  RetryPolicy
+		attempt int
+		want    uint64
+	}{
+		{"idle FSM has no hold-off", def, 0, 0},
+		{"negative attempt", def, -1, 0},
+		{"first loss", def, 1, 8},
+		{"second loss doubles", def, 2, 16},
+		{"third loss doubles again", def, 3, 32},
+		{"exactly at cap", def, 8, 1024},
+		{"clamped past cap", def, 9, 1024},
+		{"deep into the budget", def, 16, 1024},
+		{"shift overflow clamps", def, 80, 1024},
+		{"shift wrap clamps", RetryPolicy{Base: 1 << 62, Cap: 1 << 63, Budget: 4}, 4, 1 << 63},
+		{"base above cap clamps", RetryPolicy{Base: 64, Cap: 10, Budget: 4}, 1, 10},
+		{"odd base", RetryPolicy{Base: 3, Cap: 5, Budget: 4}, 2, 5},
+	}
+	for _, c := range cases {
+		if got := c.policy.Backoff(c.attempt); got != c.want {
+			t.Errorf("%s: Backoff(%d) = %d; want %d", c.name, c.attempt, got, c.want)
+		}
+	}
+}
+
+// lossyNet is a minimal noc.Network + DropNotifier: it loses the first
+// `losses` injections (or every one when losses < 0), then accepts.
+type lossyNet struct {
+	losses     int
+	note       bool
+	injectedAt []uint64
+	// rejectOnly, when set, refuses injections WITHOUT a loss note —
+	// plain backpressure.
+	rejectOnly bool
+}
+
+func (d *lossyNet) Inject(p noc.Packet, now uint64) bool {
+	if d.rejectOnly {
+		return false
+	}
+	if d.losses != 0 {
+		if d.losses > 0 {
+			d.losses--
+		}
+		d.note = true
+		return false
+	}
+	d.injectedAt = append(d.injectedAt, now)
+	return true
+}
+
+func (d *lossyNet) TookDrop(src int) bool {
+	v := d.note
+	d.note = false
+	return v
+}
+
+func (d *lossyNet) Deliver(node int, now uint64) (noc.Packet, bool) { return noc.Packet{}, false }
+func (d *lossyNet) Deliverable(node int, now uint64) bool           { return false }
+func (d *lossyNet) Tick(now uint64)                                 {}
+func (d *lossyNet) Quiet() bool                                     { return true }
+func (d *lossyNet) Stats() noc.Stats                                { return noc.Stats{} }
+func (d *lossyNet) PortFlits() []uint64                             { return nil }
+func (d *lossyNet) Nodes() int                                      { return 2 }
+
+type nullSink struct{}
+
+func (nullSink) Accept(now uint64) bool       { return true }
+func (nullSink) HandleMsg(m *Msg, now uint64) {}
+
+// The retransmission schedule is a pure function of the policy: with
+// two losses and Base=8 the transfer must go out exactly at cycle
+// 8+16=24, having held the port 7+15 cycles in backoff.
+func TestNodeRetransmitSchedule(t *testing.T) {
+	net := &lossyNet{losses: 2}
+	n := NewNode(0, net, nullSink{})
+	rec := obs.New(obs.Config{})
+	n.Obs = rec
+	n.SendCtrl(&Msg{Kind: ReqWriteThrough, Addr: 0x40}, 1, 0)
+	for now := uint64(0); now <= 24; now++ {
+		n.Tick(now)
+	}
+	if len(net.injectedAt) != 1 || net.injectedAt[0] != 24 {
+		t.Fatalf("injectedAt = %v; want exactly [24] (losses at 0 and 8, success at 8+16)", net.injectedAt)
+	}
+	if n.Retransmits != 2 {
+		t.Errorf("Retransmits = %d; want 2", n.Retransmits)
+	}
+	if n.BackoffCycles != 22 {
+		t.Errorf("BackoffCycles = %d; want 7+15 = 22", n.BackoffCycles)
+	}
+	if err := n.RetryErr(); err != nil {
+		t.Errorf("RetryErr = %v; want nil within budget", err)
+	}
+	h := rec.Histogram(obs.LatRetry)
+	if h.Count() != 1 || h.Max() < 24 {
+		t.Errorf("LatRetry samples = %d (max %d); want one sample covering the 24-cycle fight", h.Count(), h.Max())
+	}
+	// The FSM is idle again: a fresh message goes straight out.
+	n.SendCtrl(&Msg{Kind: ReqWriteThrough, Addr: 0x44}, 1, 25)
+	n.Tick(25)
+	if len(net.injectedAt) != 2 || net.injectedAt[1] != 25 {
+		t.Fatalf("post-recovery injectedAt = %v; want immediate injection at 25", net.injectedAt)
+	}
+}
+
+// Plain backpressure must not arm the FSM: no budget consumed, no
+// backoff hold, re-offer on the very next cycle.
+func TestNodeBackpressureIsNotALoss(t *testing.T) {
+	net := &lossyNet{rejectOnly: true}
+	n := NewNode(0, net, nullSink{})
+	n.SendCtrl(&Msg{Kind: ReqWriteThrough, Addr: 0x40}, 1, 0)
+	n.Tick(0)
+	n.Tick(1)
+	if n.Retransmits != 0 || n.BackoffCycles != 0 || n.RetryErr() != nil {
+		t.Fatalf("backpressure armed the retry FSM: retransmits=%d backoff=%d err=%v",
+			n.Retransmits, n.BackoffCycles, n.RetryErr())
+	}
+	net.rejectOnly = false
+	n.Tick(2)
+	if len(net.injectedAt) != 1 || net.injectedAt[0] != 2 {
+		t.Fatalf("injectedAt = %v; want [2] once backpressure cleared", net.injectedAt)
+	}
+}
+
+func TestNodeRetryBudgetExhaustion(t *testing.T) {
+	net := &lossyNet{losses: -1} // the wire never lets anything through
+	n := NewNode(3, net, nullSink{})
+	n.Retry = RetryPolicy{Base: 1, Cap: 4, Budget: 5}
+	n.SendCtrl(&Msg{Kind: CmdInval, Addr: 0x80}, 1, 0)
+	var now uint64
+	for ; n.RetryErr() == nil && now < 1000; now++ {
+		n.Tick(now)
+	}
+	err := n.RetryErr()
+	if err == nil {
+		t.Fatal("budget exhaustion never surfaced")
+	}
+	if !errors.Is(err, ErrLivenessBudget) {
+		t.Fatalf("RetryErr = %v; want errors.Is ErrLivenessBudget", err)
+	}
+	var le *LivenessError
+	if !errors.As(err, &le) {
+		t.Fatalf("RetryErr %T does not unwrap to *LivenessError", err)
+	}
+	if le.Node != 3 || le.Dst != 1 || le.Kind != CmdInval || le.Addr != 0x80 || le.Attempts != 6 {
+		t.Fatalf("diagnostic %+v; want node 3 → 1, %v addr 0x80, 6 attempts", le, CmdInval)
+	}
+	if n.Retransmits < 6 {
+		t.Fatalf("Retransmits = %d; want >= budget+1", n.Retransmits)
+	}
+	// Deterministic: the same policy exhausts at the same cycle.
+	net2 := &lossyNet{losses: -1}
+	n2 := NewNode(3, net2, nullSink{})
+	n2.Retry = RetryPolicy{Base: 1, Cap: 4, Budget: 5}
+	n2.SendCtrl(&Msg{Kind: CmdInval, Addr: 0x80}, 1, 0)
+	var now2 uint64
+	for ; n2.RetryErr() == nil && now2 < 1000; now2++ {
+		n2.Tick(now2)
+	}
+	if now != now2 {
+		t.Fatalf("budget exhaustion cycle diverged between identical runs: %d vs %d", now, now2)
+	}
+}
+
+// A reliable network (no DropNotifier) leaves the FSM unarmed and the
+// send path byte-identical to the pre-fault-layer behaviour.
+func TestNodeReliableNetworkUnarmed(t *testing.T) {
+	n := NewNode(0, &reliableNet{}, nullSink{})
+	if n.drops != nil {
+		t.Fatal("reliable network must not arm the drop notifier")
+	}
+}
+
+type reliableNet struct{ lossyNet }
+
+// reliableNet hides TookDrop so the type no longer satisfies
+// noc.DropNotifier.
+func (r *reliableNet) TookDrop() {}

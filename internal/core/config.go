@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/noc"
 )
@@ -62,6 +63,14 @@ type Config struct {
 	Bus noc.BusConfig
 
 	FPU cpu.FPUTiming
+
+	// Fault, when non-empty, threads the deterministic fault-injection
+	// layer (internal/fault) between the protocol controllers and the
+	// interconnect, and arms the ports' retransmission machinery plus
+	// the engine liveness watchdog. nil (or an empty plan) leaves the
+	// network completely unwrapped — the zero-fault path is the same
+	// code that ran before the fault layer existed.
+	Fault *fault.Plan
 
 	// MaxCycles bounds the simulation (0 = the defensive default).
 	MaxCycles uint64

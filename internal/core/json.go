@@ -47,6 +47,25 @@ type ResultJSON struct {
 	// Latency carries the per-request-type latency digests when the run
 	// was observed (omitted otherwise).
 	Latency map[string]obs.LatencySummary `json:"latency,omitempty"`
+
+	// Fault carries the fault-campaign block when the run injected
+	// faults (omitted on the zero-fault path, keeping the schema
+	// byte-identical to pre-fault-layer output).
+	Fault *FaultJSON `json:"fault,omitempty"`
+}
+
+// FaultJSON is the flattened fault-campaign block of ResultJSON.
+type FaultJSON struct {
+	Plan           string `json:"plan"`
+	Drops          uint64 `json:"drops"`
+	Retransmits    uint64 `json:"retransmits"`
+	BackoffCycles  uint64 `json:"backoff_cycles"`
+	Delayed        uint64 `json:"delayed"`
+	DelayCycles    uint64 `json:"delay_cycles"`
+	Dups           uint64 `json:"dups"`
+	DupsSuppressed uint64 `json:"dups_suppressed"`
+	StallWindows   uint64 `json:"stall_windows"`
+	StallCycles    uint64 `json:"stall_cycles"`
 }
 
 // JSON flattens the result into the export schema.
@@ -84,6 +103,20 @@ func (r *Result) JSON() ResultJSON {
 		out.DeferredRequests += m.Deferred
 	}
 	out.Latency = r.Latency.Map()
+	if f := r.Fault; f != nil {
+		out.Fault = &FaultJSON{
+			Plan:           f.Plan,
+			Drops:          f.Stats.Drops,
+			Retransmits:    f.Retransmits,
+			BackoffCycles:  f.BackoffCycles,
+			Delayed:        f.Stats.Delayed,
+			DelayCycles:    f.Stats.DelayCycles,
+			Dups:           f.Stats.Dups,
+			DupsSuppressed: f.Stats.DupsSuppressed,
+			StallWindows:   f.Stats.StallWindows,
+			StallCycles:    f.Stats.StallCycles,
+		}
+	}
 	return out
 }
 

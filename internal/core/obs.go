@@ -115,6 +115,20 @@ func (s *System) AttachObserver(r *obs.Recorder) {
 		}
 		return float64(total)
 	})
+	if s.FNet != nil {
+		sp.AddProbe("fault_drops",
+			obs.DeltaProbe(func() uint64 { return s.FNet.FaultStats().Drops }))
+		sp.AddProbe("fault_retransmits", obs.DeltaProbe(func() uint64 {
+			var total uint64
+			for _, nd := range s.Nodes {
+				total += nd.Retransmits
+			}
+			for _, nd := range s.BNodes {
+				total += nd.Retransmits
+			}
+			return total
+		}))
+	}
 	flits := s.Net.PortFlits()
 	for p := range flits {
 		p := p

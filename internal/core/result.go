@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/noc"
 	"repro/internal/obs"
 	"repro/internal/stats"
@@ -30,6 +31,22 @@ type Result struct {
 	// Latency is the per-request-type latency attribution, present only
 	// when an observer was attached (see System.AttachObserver).
 	Latency *obs.LatencyReport
+
+	// Fault summarizes the injected-fault campaign, present only when
+	// Config.Fault was non-empty.
+	Fault *FaultReport
+}
+
+// FaultReport pairs the campaign spec with what it actually did: the
+// wrapper's injection counters and the ports' retransmission totals.
+type FaultReport struct {
+	// Plan is the canonical spec string (replays the campaign verbatim).
+	Plan  string
+	Stats fault.Stats
+	// Retransmits and BackoffCycles aggregate the retry FSMs of every
+	// port (CPU-side and bank-side).
+	Retransmits   uint64
+	BackoffCycles uint64
 }
 
 func (s *System) collect(cycles uint64) *Result {
@@ -43,6 +60,18 @@ func (s *System) collect(cycles uint64) *Result {
 	}
 	for _, b := range s.Banks {
 		r.Mem = append(r.Mem, *b.Stats())
+	}
+	if s.FNet != nil {
+		fr := &FaultReport{Plan: s.FNet.Plan().String(), Stats: s.FNet.FaultStats()}
+		for _, nd := range s.Nodes {
+			fr.Retransmits += nd.Retransmits
+			fr.BackoffCycles += nd.BackoffCycles
+		}
+		for _, nd := range s.BNodes {
+			fr.Retransmits += nd.Retransmits
+			fr.BackoffCycles += nd.BackoffCycles
+		}
+		r.Fault = fr
 	}
 	return r
 }
@@ -92,9 +121,16 @@ func (r *Result) LoadMissRate() float64 {
 	return stats.Ratio(float64(misses), float64(loads))
 }
 
-// Summary renders the headline numbers on one line.
+// Summary renders the headline numbers on one line. Fault campaigns
+// append their injection totals; the zero-fault line is unchanged.
 func (r *Result) Summary() string {
-	return fmt.Sprintf("%s: %.3f Mcycles, %.2f MB traffic, %.1f%% data stall, %d instr",
+	s := fmt.Sprintf("%s: %.3f Mcycles, %.2f MB traffic, %.1f%% data stall, %d instr",
 		r.Config.Describe(), r.MegaCycles(),
 		float64(r.TrafficBytes())/1e6, r.DataStallPercent(), r.Instructions())
+	if r.Fault != nil {
+		f := r.Fault
+		s += fmt.Sprintf(" [fault: drops=%d retx=%d delayed=%d dups=%d stalls=%d]",
+			f.Stats.Drops, f.Retransmits, f.Stats.Delayed, f.Stats.Dups, f.Stats.StallWindows)
+	}
+	return s
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/obs"
@@ -30,6 +31,10 @@ type System struct {
 	// Obs is the attached observability recorder (nil when disabled);
 	// see AttachObserver.
 	Obs *obs.Recorder
+
+	// FNet is the fault-injection wrapper around Net when Cfg.Fault is
+	// non-empty; nil on the zero-fault path.
+	FNet *fault.Net
 
 	// runtimeCheckErr records the first runtime-invariant violation
 	// when EnableRuntimeChecks is active; Run surfaces it.
@@ -59,6 +64,15 @@ func Build(cfg Config, img *mem.Image) (*System, error) {
 		net = noc.NewGMN(cfg.GMN)
 	}
 
+	// The fault layer wraps the network only when a plan asks for it;
+	// otherwise the controllers talk to the bare model and the run is
+	// byte-identical to a build without the fault layer.
+	var fnet *fault.Net
+	if !cfg.Fault.Empty() {
+		fnet = fault.Wrap(net, cfg.Fault, n)
+		net = fnet
+	}
+
 	space := mem.NewSpace()
 	img.LoadInto(space)
 
@@ -69,6 +83,7 @@ func Build(cfg Config, img *mem.Image) (*System, error) {
 		Net:     net,
 		Space:   space,
 		AddrMap: amap,
+		FNet:    fnet,
 	}
 
 	// Memory banks: node ids n..n+m-1.
@@ -147,6 +162,24 @@ func Build(cfg Config, img *mem.Image) (*System, error) {
 		net.Tick,
 		func(now uint64) bool { return net.Quiet() },
 	))
+	// Liveness watchdog: under a fault plan, a port that burns through
+	// its retransmission budget aborts the run right away with a
+	// replayable diagnostic instead of limping to the cycle deadline.
+	if fnet != nil {
+		sys.Engine.Watchdog(func(now uint64) error {
+			for _, nd := range sys.Nodes {
+				if err := nd.RetryErr(); err != nil {
+					return fmt.Errorf("%w (replay: -fault %q)", err, cfg.Fault.String())
+				}
+			}
+			for _, nd := range sys.BNodes {
+				if err := nd.RetryErr(); err != nil {
+					return fmt.Errorf("%w (replay: -fault %q)", err, cfg.Fault.String())
+				}
+			}
+			return nil
+		})
+	}
 	return sys, nil
 }
 

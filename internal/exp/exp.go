@@ -30,6 +30,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/coherence"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/workload"
@@ -77,11 +78,21 @@ type Run struct {
 	NoC      core.NoCKind
 	StrictSC bool
 	C2C      bool // MESI cache-to-cache transfers
+
+	// Fault, when non-empty, is a fault.ParsePlan spec string injected
+	// into the run's interconnect. A string (not a parsed plan) keeps
+	// Run comparable for map keys and makes the campaign replayable
+	// from the key alone.
+	Fault string
 }
 
 // Key renders the point compactly for table rows and caches.
 func (r Run) Key() string {
-	return fmt.Sprintf("%s/%v/%v/n%d", r.Bench, r.Protocol, r.Arch, r.NumCPUs)
+	k := fmt.Sprintf("%s/%v/%v/n%d", r.Bench, r.Protocol, r.Arch, r.NumCPUs)
+	if r.Fault != "" {
+		k += "/fault=" + r.Fault
+	}
+	return k
 }
 
 // schedModeFor pairs the architectures with their kernels as the paper
@@ -151,6 +162,13 @@ func ExecuteObserved(r Run, sc Scale, o *Observe) (*core.Result, error) {
 	cfg.NoC = r.NoC
 	cfg.Mem.StrictSC = r.StrictSC
 	cfg.Mem.CacheToCache = r.C2C
+	if r.Fault != "" {
+		plan, err := fault.ParsePlan(r.Fault)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", r.Key(), err)
+		}
+		cfg.Fault = plan
+	}
 	sys, err := core.Build(cfg, spec.Image)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// DefaultFaultSpecs is the canonical fault grid of the robustness
+// campaign (`sweep -exp fault`): each dimension alone at a rate high
+// enough to fire thousands of times per run, then all of them at once.
+// Every spec pins its seed so the campaign replays bit-identically.
+func DefaultFaultSpecs() []string {
+	return []string{
+		"drop=0.002,seed=42",
+		"delay=0.01:8,seed=42",
+		"dup=0.002,seed=42",
+		"bankstall=0.001:16,seed=42",
+		"drop=0.001,delay=0.005:8,dup=0.001,bankstall=0.0005:16,seed=42",
+	}
+}
+
+// FaultCampaign measures how each write policy degrades under injected
+// interconnect faults: both protocols run Ocean on Architecture 2 under
+// each campaign spec (plus the zero-fault baseline), with the usual
+// host-reference check on the final memory image — correctness under
+// faults is the point, the slowdown is the measurement.
+func FaultCampaign(n int, sc Scale, specs []string) (*stats.Table, error) {
+	t := stats.NewTable("Fault campaigns — Ocean/arch2, WTI vs WB under injected NoC faults",
+		"campaign", "protocol", "Mcycles", "MB traffic", "drops", "retx", "delayed", "dups", "stalls")
+	all := append([]string{""}, specs...)
+	for _, spec := range all {
+		for _, proto := range []coherence.Protocol{coherence.WTI, coherence.WBMESI} {
+			res, err := Execute(Run{
+				Bench: Ocean, Protocol: proto, Arch: mem.Arch2, NumCPUs: n, Fault: spec,
+			}, sc)
+			if err != nil {
+				return nil, err
+			}
+			label := spec
+			if label == "" {
+				label = "(none)"
+			}
+			var drops, retx, delayed, dups, stalls uint64
+			if f := res.Fault; f != nil {
+				drops, retx = f.Stats.Drops, f.Retransmits
+				delayed, dups, stalls = f.Stats.Delayed, f.Stats.Dups, f.Stats.StallWindows
+			}
+			t.AddRow(label, proto.String(), res.MegaCycles(),
+				float64(res.TrafficBytes())/1e6, drops, retx, delayed, dups, stalls)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,247 @@
+package fault
+
+import "repro/internal/noc"
+
+// Stats counts the faults a campaign actually injected; campaigns are
+// only measurable when the injected adversity is itself measured.
+type Stats struct {
+	// Drops counts transfers lost on the wire (the sender was notified
+	// and is expected to retransmit).
+	Drops uint64
+	// Delayed counts transfers held back, DelayCycles their summed
+	// extra latency.
+	Delayed     uint64
+	DelayCycles uint64
+	// Dups counts duplicate transfers injected; DupsSuppressed counts
+	// duplicates discarded by the receiving port's sequence check. The
+	// two differ transiently while a duplicate is still in flight.
+	Dups           uint64
+	DupsSuppressed uint64
+	// StallWindows counts bank stall windows opened; StallCycles the
+	// summed cycles banks spent refusing delivery.
+	StallWindows uint64
+	StallCycles  uint64
+}
+
+// stagedPkt is a transfer held in the wrapper before injection into
+// the wrapped network: a delayed original, an in-order follower behind
+// one, or a duplicate.
+type stagedPkt struct {
+	readyAt uint64
+	pkt     noc.Packet
+}
+
+// dupPayload marks a duplicated transfer's payload so the delivery
+// side can suppress it (the link-level sequence check) before any
+// protocol sink observes it.
+type dupPayload struct {
+	inner any
+}
+
+// Net threads a fault Plan between the protocol controllers and any
+// noc.Network. It implements noc.Network and noc.DropNotifier. See the
+// package comment for the fault model; determinism notes:
+//
+//   - every decision is drawn from splitmix64 streams derived from the
+//     plan seed, one independent stream per fault dimension, advanced
+//     only inside Inject and Tick — never inside the read-only
+//     Deliverable/Quiet/Stats queries, whose call counts may legally
+//     vary (the engine's quiescence skipping probes them);
+//   - delayed transfers are staged per source and released strictly in
+//     arrival order, so the per-(source,destination) FIFO guarantee of
+//     the wrapped model is preserved;
+//   - bank stall windows advance in Tick, so they can only open while
+//     the network ticker is live — a stall of an idle system would be
+//     unobservable anyway.
+type Net struct {
+	inner noc.Network
+	plan  *Plan
+
+	dropRng  rng
+	delayRng rng
+	dupRng   rng
+	stallRng rng
+
+	// staged holds not-yet-injected transfers per source node.
+	staged  [][]stagedPkt
+	stagedN int
+	// dropNote[src] records that src's last rejected Inject was a drop.
+	dropNote []bool
+	// stallUntil[node] is the cycle a bank node's delivery stall ends
+	// (exclusive); zero for never-stalled nodes. bankBase maps node ids
+	// to bank indices for scope matching.
+	stallUntil []uint64
+	bankBase   int
+
+	st Stats
+}
+
+// PRNG stream indices (see streamRNG).
+const (
+	streamDrop = iota
+	streamDelay
+	streamDup
+	streamStall
+)
+
+// Wrap threads plan between the controllers and inner. bankBase is the
+// node id of bank 0 (nodes bankBase..Nodes()-1 are memory banks, the
+// scope targets of bankstall directives). A nil or empty plan is
+// rejected — callers keep the unwrapped network on the zero-fault path
+// so it stays byte-identical to a build without the fault layer.
+func Wrap(inner noc.Network, plan *Plan, bankBase int) *Net {
+	if plan.Empty() {
+		panic("fault: Wrap needs a non-empty plan")
+	}
+	n := inner.Nodes()
+	return &Net{
+		inner:      inner,
+		plan:       plan,
+		dropRng:    streamRNG(plan.Seed, streamDrop),
+		delayRng:   streamRNG(plan.Seed, streamDelay),
+		dupRng:     streamRNG(plan.Seed, streamDup),
+		stallRng:   streamRNG(plan.Seed, streamStall),
+		staged:     make([][]stagedPkt, n),
+		dropNote:   make([]bool, n),
+		stallUntil: make([]uint64, n),
+		bankBase:   bankBase,
+	}
+}
+
+// Plan returns the campaign the wrapper runs.
+func (f *Net) Plan() *Plan { return f.plan }
+
+// FaultStats returns the injected-fault counters.
+func (f *Net) FaultStats() Stats { return f.st }
+
+// Nodes implements noc.Network.
+func (f *Net) Nodes() int { return f.inner.Nodes() }
+
+// Stats implements noc.Network (traffic counters of the wrapped model;
+// duplicate transfers count as real traffic there, exactly as spurious
+// retransmissions occupy real links).
+func (f *Net) Stats() noc.Stats { return f.inner.Stats() }
+
+// PortFlits implements noc.Network.
+func (f *Net) PortFlits() []uint64 { return f.inner.PortFlits() }
+
+// Inject implements noc.Network. The fault draws happen here, once per
+// offered transfer, in a fixed order (drop, delay, duplicate) so a
+// campaign's decision sequence is a pure function of the plan seed and
+// the traffic.
+func (f *Net) Inject(p noc.Packet, now uint64) bool {
+	if r := f.plan.dropRate(p.Src, p.Dst); r > 0 && f.dropRng.chance(r) {
+		f.st.Drops++
+		f.dropNote[p.Src] = true
+		return false
+	}
+	extra := 0
+	if d := f.plan.delayFor(p.Src, p.Dst); d != nil && f.delayRng.chance(d.Rate) {
+		extra = d.Cycles
+		f.st.Delayed++
+		f.st.DelayCycles += uint64(d.Cycles)
+	}
+	dup := false
+	if r := f.plan.dupRate(p.Src, p.Dst); r > 0 && f.dupRng.chance(r) {
+		dup = true
+		f.st.Dups++
+	}
+	if extra == 0 && !dup && len(f.staged[p.Src]) == 0 {
+		return f.inner.Inject(p, now) // zero-fault fast path: plain backpressure
+	}
+	// Stage the original (behind any earlier staged transfer from this
+	// source, preserving its order) and, for a duplication, the marked
+	// copy right behind it.
+	f.stage(p.Src, stagedPkt{readyAt: now + uint64(extra), pkt: p})
+	if dup {
+		d := p
+		d.Payload = dupPayload{inner: p.Payload}
+		f.stage(p.Src, stagedPkt{readyAt: now + uint64(extra), pkt: d})
+	}
+	return true
+}
+
+func (f *Net) stage(src int, s stagedPkt) {
+	f.staged[src] = append(f.staged[src], s)
+	f.stagedN++
+}
+
+// TookDrop implements noc.DropNotifier.
+func (f *Net) TookDrop(src int) bool {
+	v := f.dropNote[src]
+	f.dropNote[src] = false
+	return v
+}
+
+// Tick implements noc.Network: advance bank stall windows, release
+// staged transfers whose delay elapsed, then tick the wrapped model.
+func (f *Net) Tick(now uint64) {
+	if len(f.plan.BankStall) > 0 {
+		for node := f.bankBase; node < len(f.stallUntil); node++ {
+			if f.stallUntil[node] > now {
+				f.st.StallCycles++
+				continue
+			}
+			s := f.plan.stallFor(node - f.bankBase)
+			if s != nil && s.Rate > 0 && f.stallRng.chance(s.Rate) {
+				f.stallUntil[node] = now + uint64(s.Window)
+				f.st.StallWindows++
+				f.st.StallCycles++
+			}
+		}
+	}
+	if f.stagedN > 0 {
+		for src := range f.staged {
+			q := f.staged[src]
+			for len(q) > 0 && q[0].readyAt <= now {
+				if !f.inner.Inject(q[0].pkt, now) {
+					break // backpressure: keep order, retry next cycle
+				}
+				copy(q, q[1:])
+				q = q[:len(q)-1]
+				f.stagedN--
+			}
+			f.staged[src] = q
+		}
+	}
+	f.inner.Tick(now)
+}
+
+// stalled reports whether delivery at node is frozen this cycle.
+func (f *Net) stalled(node int, now uint64) bool {
+	return f.stallUntil[node] > now
+}
+
+// Deliverable implements noc.Network. A true result may still yield no
+// packet from Deliver when only a suppressed duplicate heads the
+// queue; endpoints already tolerate that (a Deliver miss ends their
+// receive loop).
+func (f *Net) Deliverable(node int, now uint64) bool {
+	if f.stalled(node, now) {
+		return false
+	}
+	return f.inner.Deliverable(node, now)
+}
+
+// Deliver implements noc.Network, discarding duplicate transfers (the
+// receiving port's sequence check) so protocol sinks only ever see
+// each message once.
+func (f *Net) Deliver(node int, now uint64) (noc.Packet, bool) {
+	if f.stalled(node, now) {
+		return noc.Packet{}, false
+	}
+	for {
+		p, ok := f.inner.Deliver(node, now)
+		if !ok {
+			return noc.Packet{}, false
+		}
+		if _, isDup := p.Payload.(dupPayload); isDup {
+			f.st.DupsSuppressed++
+			continue
+		}
+		return p, true
+	}
+}
+
+// Quiet implements noc.Network: staged transfers count as in flight.
+func (f *Net) Quiet() bool { return f.stagedN == 0 && f.inner.Quiet() }

@@ -1,0 +1,88 @@
+//go:build soak
+
+// Full soak tier: the nightly fault grid. Real workloads (Ocean and
+// Water) at full scale on 8 CPUs, every fault dimension and seed
+// variant, with the host-reference check on each point and a replay
+// assertion on the heaviest campaign. Run it with:
+//
+//	go test -tags soak ./internal/fault/ -run TestSoakFull -v
+//
+// A failing point prints its Run key and fault spec, which together are
+// the exact replay recipe (`mcsim -bench ... -fault "<spec>"`).
+package fault_test
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/exp"
+	"repro/internal/mem"
+)
+
+// fullSoakSpecs stresses each dimension harder than the quick tier and
+// varies the seed, so the nightly run explores fresh interleavings of
+// the same campaigns without losing reproducibility.
+var fullSoakSpecs = []string{
+	"drop=0.02,seed=42",
+	"drop=0.02,seed=1337",
+	"delay=0.05:16,seed=42",
+	"delay=0.05:16,seed=1337",
+	"dup=0.02,seed=42",
+	"dup=0.02,seed=1337",
+	"bankstall=0.005:32,seed=42",
+	"bankstall=0.005:32,seed=1337",
+	"drop=0.01,delay=0.02:8,dup=0.01,bankstall=0.002:16,seed=42",
+	"drop=0.01,delay=0.02:8,dup=0.01,bankstall=0.002:16,seed=1337",
+}
+
+func TestSoakFullGrid(t *testing.T) {
+	sc := exp.DefaultScale()
+	for _, bench := range []exp.Bench{exp.Ocean, exp.Water} {
+		for _, proto := range []coherence.Protocol{coherence.WTI, coherence.WBMESI} {
+			for _, spec := range fullSoakSpecs {
+				r := exp.Run{Bench: bench, Protocol: proto, Arch: mem.Arch2, NumCPUs: 8, Fault: spec}
+				res, err := exp.Execute(r, sc)
+				if err != nil {
+					t.Errorf("%s: %v (replay: -fault %q)", r.Key(), err, spec)
+					continue
+				}
+				f := res.Fault
+				if f == nil {
+					t.Errorf("%s: faulted run reported no fault block", r.Key())
+					continue
+				}
+				injected := f.Stats.Drops + f.Stats.Delayed + f.Stats.Dups + f.Stats.StallWindows
+				if injected == 0 {
+					t.Errorf("%s under %q: injected nothing; the grid point is vacuous", r.Key(), spec)
+				}
+				if f.Stats.Drops != f.Retransmits {
+					t.Errorf("%s under %q: %d drops but %d retransmissions; every loss must be retried exactly once",
+						r.Key(), spec, f.Stats.Drops, f.Retransmits)
+				}
+				if f.Stats.Dups != f.Stats.DupsSuppressed {
+					t.Errorf("%s under %q: %d duplicates injected, %d suppressed",
+						r.Key(), spec, f.Stats.Dups, f.Stats.DupsSuppressed)
+				}
+			}
+		}
+	}
+}
+
+// TestSoakFullReplay: the heaviest nightly campaign reproduces its
+// cycle count and fault counters bit-for-bit on a second run.
+func TestSoakFullReplay(t *testing.T) {
+	spec := fullSoakSpecs[len(fullSoakSpecs)-1]
+	r := exp.Run{Bench: exp.Ocean, Protocol: coherence.WBMESI, Arch: mem.Arch2, NumCPUs: 8, Fault: spec}
+	a, err := exp.Execute(r, exp.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := exp.Execute(r, exp.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || *a.Fault != *b.Fault {
+		t.Errorf("identical campaigns diverged:\n  first:  %d cycles, %+v\n  second: %d cycles, %+v",
+			a.Cycles, a.Fault, b.Cycles, b.Fault)
+	}
+}

@@ -79,6 +79,20 @@ type Network interface {
 	Nodes() int
 }
 
+// DropNotifier is the optional sender-side loss-notification interface
+// a Network may implement (the fault-injection wrapper does; the plain
+// models never drop and so never implement it). A rejected Inject is
+// normally backpressure — the packet was refused and may be re-offered
+// any time. When the network instead *lost* the transfer (a modelled
+// link fault), TookDrop reports it: the sender's link layer detected
+// the corruption (CRC/NACK, as real NoC retransmission layers do) and
+// must retransmit under its retry policy rather than plain retry.
+type DropNotifier interface {
+	// TookDrop reports — and clears — whether the most recent rejected
+	// Inject from src was a fault drop rather than backpressure.
+	TookDrop(src int) bool
+}
+
 // MeshLatency returns the default minimum crossing delay, in cycles,
 // used by the GMN to mimic a 2D mesh interconnecting `nodes` endpoints:
 // the average Manhattan distance of a square k×k mesh (2k/3) times the

@@ -40,6 +40,11 @@ const (
 	// LatWriteback: MESI dirty eviction, writeback to acknowledge
 	// (non-blocking).
 	LatWriteback
+	// LatRetry: time a NoC transfer spent being retransmitted after
+	// link-level losses, first loss to successful injection. Only fault
+	// campaigns (internal/fault) produce samples; the class is absent
+	// from every zero-fault report.
+	LatRetry
 
 	numLatKinds
 )
@@ -53,6 +58,7 @@ var latKindNames = [numLatKinds]string{
 	LatUpgrade:    "upgrade",
 	LatSwap:       "swap",
 	LatWriteback:  "writeback",
+	LatRetry:      "retry",
 }
 
 // String implements fmt.Stringer.

@@ -62,6 +62,7 @@ type Engine struct {
 	idlers    []Idler
 	names     []string
 	periodics []periodic
+	watchdogs []func(now uint64) error
 	skipped   uint64
 }
 
@@ -101,6 +102,18 @@ func (e *Engine) Every(interval uint64, fn func(now uint64)) {
 		panic("sim: Every needs a positive interval")
 	}
 	e.periodics = append(e.periodics, periodic{interval: interval, fn: fn})
+}
+
+// Watchdog registers a liveness check polled by Run once per cycle,
+// after all tickers of that cycle. A non-nil error aborts the run
+// immediately with that error — before the deadline would fire — so a
+// stuck transaction surfaces as its own diagnostic instead of the
+// anonymous ErrDeadline thousands of cycles later. fn must only
+// observe state, never mutate it (the Idler reasoning: registering a
+// watchdog cannot change simulation results). Runs with no registered
+// watchdog pay nothing.
+func (e *Engine) Watchdog(fn func(now uint64) error) {
+	e.watchdogs = append(e.watchdogs, fn)
 }
 
 // Step advances the simulation by exactly one cycle.
@@ -148,5 +161,10 @@ func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
 			return e.now - start, &ErrDeadline{Cycles: maxCycles}
 		}
 		e.Step()
+		for _, w := range e.watchdogs {
+			if err := w(e.now); err != nil {
+				return e.now - start, err
+			}
+		}
 	}
 }

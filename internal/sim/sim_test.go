@@ -81,6 +81,47 @@ func TestEngineDeadlineNotHitWhenDoneFirst(t *testing.T) {
 	}
 }
 
+func TestEngineWatchdogAbortsRun(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	e.Register("t", TickFunc(func(now uint64) { ticks++ }))
+	wantErr := errors.New("transaction stuck")
+	polled := []uint64{}
+	e.Watchdog(func(now uint64) error {
+		polled = append(polled, now)
+		if now >= 3 {
+			return wantErr
+		}
+		return nil
+	})
+	cycles, err := e.Run(100, func() bool { return false })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Run error = %v; want the watchdog's error", err)
+	}
+	if cycles != 3 || ticks != 3 {
+		t.Fatalf("cycles=%d ticks=%d; want the run aborted right at the failing poll", cycles, ticks)
+	}
+	// Polled once per executed cycle, after that cycle's tickers.
+	if len(polled) != 3 || polled[0] != 1 || polled[2] != 3 {
+		t.Fatalf("watchdog polled at %v; want [1 2 3]", polled)
+	}
+}
+
+func TestEngineWatchdogQuietWhenHealthy(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Register("c", TickFunc(func(now uint64) { count++ }))
+	calls := 0
+	e.Watchdog(func(now uint64) error { calls++; return nil })
+	cycles, err := e.Run(0, func() bool { return count >= 5 })
+	if err != nil || cycles != 5 {
+		t.Fatalf("Run = %d, %v; want 5 clean cycles", cycles, err)
+	}
+	if calls != 5 {
+		t.Fatalf("watchdog polled %d times; want once per cycle", calls)
+	}
+}
+
 func TestEngineEveryRunsAfterTickersOfItsCycle(t *testing.T) {
 	e := NewEngine()
 	var order []string
