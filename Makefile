@@ -31,8 +31,15 @@ vet:
 lint:
 	$(GO) run ./cmd/simlint
 
+# race covers the packages that actually share state under the sharded
+# BSP engine (engine/pool, protocol nodes, NoC delivery counters, fault
+# layer, stats) and finishes with an end-to-end sharded mcsim run under
+# the detector. GOMAXPROCS is forced up so the pool's workers really
+# interleave even on small CI hosts.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/stats/... ./internal/fault/...
+	$(GO) test -race ./internal/sim/... ./internal/stats/... ./internal/fault/... \
+		./internal/coherence/... ./internal/noc/...
+	GOMAXPROCS=4 $(GO) run -race ./cmd/mcsim -bench counter -cpus 4 -incs 30 -shards 4 >/dev/null
 
 check: fmt vet lint build test race
 

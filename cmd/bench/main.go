@@ -11,7 +11,13 @@
 //   - workload pins: 16-CPU Ocean and Water under both WTI and
 //     WB-MESI, cycles and wall time each;
 //   - sweep wall-clock: the Figure 4–6 grid at reduced (-quick) scale,
-//     run serially and with -jobs workers, and the resulting speedup.
+//     run serially and with -jobs workers, and the resulting speedup;
+//   - shard scaling: the 16-CPU Ocean/WTI and Water/WB pins re-run on
+//     the sharded BSP engine at 1, 2, 4 and 8 compute workers, with
+//     each point's speedup over the shards=1 baseline. On hosts with
+//     fewer cores than shards the curve is flat or degrades (barrier
+//     overhead with nothing to parallelize) — the host fields above
+//     say so; only cycles, which never move, are comparable then.
 //
 // Usage:
 //
@@ -34,8 +40,10 @@ import (
 	"repro/internal/mem"
 )
 
-// BenchSchemaVersion identifies the JSON layout below.
-const BenchSchemaVersion = 1
+// BenchSchemaVersion identifies the JSON layout below. Version 2 added
+// the shard_scaling section (the sharded BSP engine); the PR 3 fields
+// are unchanged so trajectories stay comparable across milestones.
+const BenchSchemaVersion = 2
 
 // BenchJSON is the export schema: one file per benchmark invocation.
 // Host fields record the environment the numbers were taken on —
@@ -50,9 +58,23 @@ type BenchJSON struct {
 	GOMAXPROCS    int    `json:"gomaxprocs"`
 	Quick         bool   `json:"quick"`
 
-	Engine    EngineBench     `json:"engine"`
-	Workloads []WorkloadBench `json:"workloads"`
-	Sweep     SweepBench      `json:"sweep"`
+	Engine       EngineBench     `json:"engine"`
+	Workloads    []WorkloadBench `json:"workloads"`
+	Sweep        SweepBench      `json:"sweep"`
+	ShardScaling []ShardBench    `json:"shard_scaling"`
+}
+
+// ShardBench is one point of the intra-run scaling curve: a pinned
+// workload on the sharded BSP engine at a given compute-worker count.
+// Cycles are identical across the curve (sharding is byte-exact);
+// only wall time moves.
+type ShardBench struct {
+	Run           string  `json:"run"`
+	Shards        int     `json:"shards"`
+	Cycles        uint64  `json:"cycles"`
+	WallMs        float64 `json:"wall_ms"`
+	MCyclesPerSec float64 `json:"mcycles_per_sec"`
+	Speedup       float64 `json:"speedup_vs_shards1"`
 }
 
 // EngineBench is the raw simulation-speed figure.
@@ -151,6 +173,36 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "bench: sweep %v  serial %.1f ms  parallel(%d) %.1f ms  speedup %.2fx\n",
 		sweepSizes, b.Sweep.SerialMs, *jobs, b.Sweep.ParallelMs, b.Sweep.Speedup)
+
+	// Shard scaling: the first Ocean and Water pins across compute-
+	// worker counts. Each point re-runs the full workload; the
+	// shards=1 baseline is measured fresh (not reused from the pins)
+	// so the curve is internally consistent.
+	for _, r := range []exp.Run{pins[0], pins[3]} {
+		var base float64
+		for _, sh := range []int{1, 2, 4, 8} {
+			start := time.Now()
+			res, err := exp.ExecuteOpts(r, pinScale, exp.Options{Shards: sh})
+			if err != nil {
+				fatal(err)
+			}
+			wall := time.Since(start)
+			p := ShardBench{
+				Run:           r.Key(),
+				Shards:        sh,
+				Cycles:        res.Cycles,
+				WallMs:        ms(wall),
+				MCyclesPerSec: float64(res.Cycles) / wall.Seconds() / 1e6,
+			}
+			if sh == 1 {
+				base = p.WallMs
+			}
+			p.Speedup = base / p.WallMs
+			b.ShardScaling = append(b.ShardScaling, p)
+			fmt.Fprintf(os.Stderr, "bench: %-24s shards=%d %9d cycles  %8.1f ms  %6.3f Mcyc/s  %.2fx\n",
+				p.Run, p.Shards, p.Cycles, p.WallMs, p.MCyclesPerSec, p.Speedup)
+		}
+	}
 
 	enc, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {

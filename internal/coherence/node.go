@@ -125,10 +125,25 @@ func (n *Node) CanSendReq() bool {
 func (n *Node) OutQueueLen() int { return n.outQ.Len() }
 
 // Tick delivers arrived messages to the sink and drains the outbound
-// queue into the network.
+// queue into the network. It is RecvPhase followed by SendPhase — the
+// serial schedule; the sharded schedule calls the phases separately
+// (receive during the parallel compute phase, send during the serial
+// commit phase) and relies on the split below keeping each phase's
+// behaviour bit-identical to its half of Tick.
 func (n *Node) Tick(now uint64) {
-	// Receive. The arrival check comes first: on the (common) cycles
-	// with nothing deliverable the sink is never consulted. Both sinks'
+	n.RecvPhase(now)
+	n.SendPhase(now)
+}
+
+// RecvPhase delivers arrived messages to the sink. It is the node's
+// compute phase: it reads the network's per-node arrival queue and
+// writes only node/sink state (plus the network's synchronized
+// in-flight counter), so nodes of different shards may receive
+// concurrently. It never injects into the network — handlers enqueue
+// responses on the outbound port, which SendPhase drains.
+func (n *Node) RecvPhase(now uint64) {
+	// The arrival check comes first: on the (common) cycles with
+	// nothing deliverable the sink is never consulted. Both sinks'
 	// Accept are pure queries, so the swapped order cannot change
 	// behaviour.
 	for n.net.Deliverable(n.ID, now) && n.sink.Accept(now) {
@@ -143,12 +158,19 @@ func (n *Node) Tick(now uint64) {
 		}
 		n.sink.HandleMsg(msg, now)
 	}
-	// Send, preserving FIFO order (the port enforces it even when a
-	// later message has an earlier not-before cycle). The
-	// retransmission FSM gates the head: while a lost transfer backs
-	// off, nothing from this port enters the network — head-of-line
-	// blocking is what keeps the per-(src,dst) FIFO guarantee intact
-	// across retransmissions.
+}
+
+// SendPhase drains the outbound queue into the network, preserving
+// FIFO order (the port enforces it even when a later message has an
+// earlier not-before cycle). It is the node's commit phase: the only
+// place this node calls Inject, run serially across all nodes in
+// registration order, so the global injection sequence — and with it
+// every fault-RNG draw — matches the serial schedule exactly. The
+// retransmission FSM gates the head: while a lost transfer backs off,
+// nothing from this port enters the network — head-of-line blocking is
+// what keeps the per-(src,dst) FIFO guarantee intact across
+// retransmissions.
+func (n *Node) SendPhase(now uint64) {
 	for {
 		head, ok := n.outQ.Peek(now)
 		if !ok {

@@ -1,0 +1,44 @@
+package exp
+
+import "fmt"
+
+// ClampConcurrency caps the total worker count of a nested-parallel
+// sweep — jobs simulations in flight, each on shards compute workers —
+// at maxProcs schedulable threads. Oversubscribing buys nothing (the
+// workers just time-slice) and the barrier in the sharded engine makes
+// it actively harmful: a descheduled shard worker stalls its whole
+// simulation's cycle.
+//
+// The across-run dimension is reduced first (jobs parallelism has the
+// lower coordination cost, so when the host is short, intra-run
+// shards are the better use of the remaining cores); if shards alone
+// exceed maxProcs they are cut to maxProcs last. The returned note is
+// empty when nothing was clamped, otherwise a human-readable
+// explanation for the caller to surface. Inputs below 1 are treated
+// as 1.
+func ClampConcurrency(jobs, shards, maxProcs int) (j, s int, note string) {
+	if jobs < 1 {
+		jobs = 1
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if maxProcs < 1 {
+		maxProcs = 1
+	}
+	j, s = jobs, shards
+	if j*s <= maxProcs {
+		return j, s, ""
+	}
+	j = maxProcs / s
+	if j < 1 {
+		j = 1
+	}
+	if s > maxProcs {
+		s = maxProcs
+	}
+	note = fmt.Sprintf(
+		"-jobs %d x -shards %d = %d workers exceeds GOMAXPROCS=%d; clamped to -jobs %d -shards %d",
+		jobs, shards, jobs*shards, maxProcs, j, s)
+	return j, s, note
+}

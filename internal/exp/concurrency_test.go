@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClampConcurrency(t *testing.T) {
+	cases := []struct {
+		name              string
+		jobs, shards, max int
+		wantJ, wantS      int
+		wantNote          bool
+	}{
+		{"fits exactly", 4, 2, 8, 4, 2, false},
+		{"fits with slack", 2, 2, 16, 2, 2, false},
+		{"serial serial", 1, 1, 1, 1, 1, false},
+		{"jobs reduced first", 8, 2, 8, 4, 2, true},
+		{"jobs floor one", 2, 8, 8, 1, 8, true},
+		{"shards alone too big", 1, 16, 4, 1, 4, true},
+		{"both too big", 8, 8, 4, 1, 4, true},
+		{"single core", 4, 4, 1, 1, 1, true},
+		{"zero inputs treated as one", 0, 0, 8, 1, 1, false},
+		{"negative inputs treated as one", -3, -1, 2, 1, 1, false},
+		{"nonpositive maxprocs treated as one", 2, 1, 0, 1, 1, true},
+		{"integer division remainder", 3, 2, 7, 3, 2, false},
+		{"remainder forces clamp", 5, 2, 9, 4, 2, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			j, s, note := ClampConcurrency(c.jobs, c.shards, c.max)
+			if j != c.wantJ || s != c.wantS {
+				t.Errorf("ClampConcurrency(%d, %d, %d) = (%d, %d), want (%d, %d)",
+					c.jobs, c.shards, c.max, j, s, c.wantJ, c.wantS)
+			}
+			if (note != "") != c.wantNote {
+				t.Errorf("note = %q, wantNote = %t", note, c.wantNote)
+			}
+			if note != "" && (!strings.Contains(note, "clamped") || !strings.Contains(note, "GOMAXPROCS")) {
+				t.Errorf("note %q missing expected wording", note)
+			}
+			// The invariant the clamp exists for: never oversubscribe.
+			max := c.max
+			if max < 1 {
+				max = 1
+			}
+			if s > max {
+				t.Errorf("clamped shards %d still exceed maxProcs %d", s, max)
+			}
+			if j > 1 && j*s > max {
+				t.Errorf("clamped product %d x %d still exceeds maxProcs %d", j, s, max)
+			}
+		})
+	}
+}

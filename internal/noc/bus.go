@@ -1,5 +1,7 @@
 package noc
 
+import "sync/atomic"
+
 // BusConfig parameterises the shared-bus model.
 type BusConfig struct {
 	Nodes int
@@ -32,7 +34,9 @@ type Bus struct {
 	out       [][]busArrival
 	st        Stats
 	portFlits []uint64
-	live      int
+	// live is atomic for the same reason as GMN.inFlight: concurrent
+	// compute-phase Delivers under the sharded schedule.
+	live atomic.Int64
 }
 
 type busArrival struct {
@@ -72,7 +76,7 @@ func (b *Bus) Inject(p Packet, now uint64) bool {
 		return false
 	}
 	b.queues[p.Src] = append(b.queues[p.Src], p)
-	b.live++
+	b.live.Add(1)
 	return true
 }
 
@@ -121,12 +125,12 @@ func (b *Bus) Deliver(node int, now uint64) (Packet, bool) {
 	p := q[0].pkt
 	copy(q, q[1:])
 	b.out[node] = q[:len(q)-1]
-	b.live--
+	b.live.Add(-1)
 	return p, true
 }
 
 // Quiet implements Network.
-func (b *Bus) Quiet() bool { return b.live == 0 }
+func (b *Bus) Quiet() bool { return b.live.Load() == 0 }
 
 // Stats implements Network.
 func (b *Bus) Stats() Stats { return b.st }

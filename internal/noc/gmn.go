@@ -1,5 +1,7 @@
 package noc
 
+import "sync/atomic"
+
 // GMNConfig parameterises the Generic Micro Network model.
 type GMNConfig struct {
 	Nodes int
@@ -37,7 +39,12 @@ type GMN struct {
 
 	stats     Stats
 	portFlits []uint64
-	inFlight  int
+	// inFlight is the injected-but-undelivered packet count. It is
+	// atomic because under the sharded schedule nodes of different
+	// shards Deliver concurrently during the compute phase; Inject and
+	// all Quiet reads happen at serial points, so the counter's
+	// synchronization is the only one the model needs.
+	inFlight atomic.Int64
 }
 
 type gmnSrc struct {
@@ -91,7 +98,7 @@ func (g *GMN) Inject(p Packet, now uint64) bool {
 		return false
 	}
 	s.queue = append(s.queue, p)
-	g.inFlight++
+	g.inFlight.Add(1)
 	return true
 }
 
@@ -148,12 +155,12 @@ func (g *GMN) Deliver(node int, now uint64) (Packet, bool) {
 	p := d.queue[0].pkt
 	copy(d.queue, d.queue[1:])
 	d.queue = d.queue[:len(d.queue)-1]
-	g.inFlight--
+	g.inFlight.Add(-1)
 	return p, true
 }
 
 // Quiet implements Network.
-func (g *GMN) Quiet() bool { return g.inFlight == 0 }
+func (g *GMN) Quiet() bool { return g.inFlight.Load() == 0 }
 
 // GMNPortState is one port's queue contents for inspection, with times
 // expressed relative to the snapshot cycle.

@@ -1,6 +1,9 @@
 package noc
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // MeshConfig parameterises the 2D-mesh router network.
 type MeshConfig struct {
@@ -50,7 +53,9 @@ type Mesh struct {
 	out       [][]meshEntry // per-node delivered packets
 	st        Stats
 	portFlits []uint64
-	live      int
+	// live is atomic for the same reason as GMN.inFlight: concurrent
+	// compute-phase Delivers under the sharded schedule.
+	live atomic.Int64
 }
 
 // NewMesh builds a k×k mesh large enough for cfg.Nodes endpoints, one
@@ -126,7 +131,7 @@ func (m *Mesh) Inject(p Packet, now uint64) bool {
 		return false
 	}
 	r.in[portLocal] = append(r.in[portLocal], meshEntry{readyAt: now, pkt: p})
-	m.live++
+	m.live.Add(1)
 	m.st.Packets++
 	m.st.TotalBytes += uint64(p.Bytes)
 	m.portFlits[p.Src] += uint64(p.Flits())
@@ -196,12 +201,12 @@ func (m *Mesh) Deliver(node int, now uint64) (Packet, bool) {
 	p := q[0].pkt
 	copy(q, q[1:])
 	m.out[node] = q[:len(q)-1]
-	m.live--
+	m.live.Add(-1)
 	return p, true
 }
 
 // Quiet implements Network.
-func (m *Mesh) Quiet() bool { return m.live == 0 }
+func (m *Mesh) Quiet() bool { return m.live.Load() == 0 }
 
 // Stats implements Network.
 func (m *Mesh) Stats() Stats { return m.st }

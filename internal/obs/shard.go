@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Shard returns the shard-local child recorder for shard index i,
+// creating it on first use. Under the sharded BSP schedule components
+// that record during the parallel compute phase (CPUs, caches, bank
+// directories) must write to their shard's child instead of the shared
+// parent; components that record only during the serial commit phase
+// (NoC ports) keep the parent. Each child owns its own trace buffer
+// and latency histograms, so compute-phase recording needs no locks;
+// MergeShards folds everything back into the parent deterministically.
+// Children never sample — interval sampling stays a serial concern of
+// the parent. Shard on a nil Recorder returns nil, which is itself a
+// valid (disabled) recorder, so attach paths need no special casing.
+func (r *Recorder) Shard(i int) *Recorder {
+	if r == nil {
+		return nil
+	}
+	for len(r.shards) <= i {
+		r.shards = append(r.shards, nil)
+	}
+	if r.shards[i] == nil {
+		c := &Recorder{cfg: Config{Trace: r.tb != nil}}
+		if r.tb != nil {
+			c.tb = newTraceBuf(r.tb.max)
+		}
+		r.shards[i] = c
+	}
+	return r.shards[i]
+}
+
+// MergeShards folds every child recorder's data back into the parent:
+// latency histograms merge bucket-wise (commutative, so the result is
+// independent of compute-phase interleaving), trace events append in
+// child-index order, and spans still open in a child move over so a
+// trace written after a hung run shows what was in flight. The fold
+// drains the children, so calling MergeShards again — or recording
+// into a child afterwards and merging once more — never double-counts.
+// Call it only from a serial point (core.System.Run does, after the
+// drain phase and before results are collected).
+//
+// Note on trace files: the merged event array groups compute-phase
+// events by shard after the parent's own events instead of
+// interleaving them by cycle. Trace viewers order by timestamp, and
+// the event *set* — every event's pid/tid/ts/dur — is identical to the
+// serial schedule's, so the rendered trace is the same; only the
+// on-disk array order differs from a -shards 1 trace.
+func (r *Recorder) MergeShards() {
+	if r == nil {
+		return
+	}
+	for _, c := range r.shards {
+		if c == nil {
+			continue
+		}
+		for k := range c.lat.hist {
+			r.lat.hist[k].Merge(&c.lat.hist[k])
+			c.lat.hist[k] = stats.Histogram{}
+		}
+		if r.tb == nil || c.tb == nil {
+			continue
+		}
+		for i := range c.tb.events {
+			r.tb.add(c.tb.events[i])
+		}
+		c.tb.events = c.tb.events[:0]
+		r.tb.dropped += c.tb.dropped
+		c.tb.dropped = 0
+		if len(c.tb.open) != 0 {
+			ids := make([]SpanID, 0, len(c.tb.open))
+			for id := range c.tb.open {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			for _, id := range ids {
+				r.tb.nextID++
+				r.tb.open[r.tb.nextID] = c.tb.open[id]
+				delete(c.tb.open, id)
+			}
+		}
+	}
+}

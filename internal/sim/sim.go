@@ -8,6 +8,21 @@
 // earliest, so the relative tick order of components cannot change
 // simulation results. This is the property that makes the whole model
 // deterministic and makes the protocol comparison fair.
+//
+// The latching property is also what enables the sharded
+// bulk-synchronous-parallel schedule (see Phased, RegisterShard,
+// SetShards): each cycle splits into a compute phase, where shards of
+// tickers run concurrently touching only shard-local state, and a
+// serial commit phase, where cross-shard sends happen in registration
+// order — the exact injection order of the serial schedule — so a
+// sharded run is byte-identical to a serial one. Within one cycle the
+// full order is: compute ticks (shard-major; registration order within
+// a shard), then commits in registration order, then Every hooks, then
+// — from Run — the watchdogs. SkippedTicks counts compute-phase Idler
+// skips plus commit-phase CommitIdler skips; because the partition is
+// fixed at build time and both predicates are evaluated at schedule
+// points equivalent to the serial ones, the count is identical across
+// shard settings.
 package sim
 
 import "fmt"
@@ -59,11 +74,30 @@ type Engine struct {
 	tickers []Ticker
 	// idlers[i] is non-nil when tickers[i] implements Idler; the
 	// parallel slice keeps Step free of per-cycle type assertions.
+	// phased, cidlers and shards are maintained the same way for the
+	// two-phase schedule (see shard.go).
 	idlers    []Idler
+	phased    []Phased
+	cidlers   []CommitIdler
+	shards    []int
 	names     []string
 	periodics []periodic
 	watchdogs []func(now uint64) error
 	skipped   uint64
+
+	// Execution plan, derived lazily from the registrations: tickers in
+	// shard-major compute order, per-shard offsets, and the registration-
+	// order commit list.
+	planOK      bool
+	order       []int
+	shardStart  []int
+	commitOrder []int
+	nShards     int
+
+	// workers is the requested compute-phase parallelism (SetShards);
+	// pool is the running worker pool, nil while serial.
+	workers int
+	pool    *pool
 }
 
 // periodic is a sampling hook run every interval cycles, after all
@@ -82,14 +116,12 @@ func (e *Engine) Now() uint64 { return e.now }
 // Register adds a ticker to the engine. Tickers run every cycle in
 // registration order. The name is used in diagnostics only.
 func (e *Engine) Register(name string, t Ticker) {
-	e.tickers = append(e.tickers, t)
-	id, _ := t.(Idler)
-	e.idlers = append(e.idlers, id)
-	e.names = append(e.names, name)
+	e.RegisterShard(0, name, t)
 }
 
-// SkippedTicks reports how many ticks were skipped via Idle (diagnostics
-// and tests; skipping is invisible to the simulation itself).
+// SkippedTicks reports how many ticks were skipped via Idle and
+// CommitIdle (diagnostics and tests; skipping is invisible to the
+// simulation itself, and the count is independent of SetShards).
 func (e *Engine) SkippedTicks() uint64 { return e.skipped }
 
 // Every registers fn to run each time interval further cycles have
@@ -116,15 +148,27 @@ func (e *Engine) Watchdog(fn func(now uint64) error) {
 	e.watchdogs = append(e.watchdogs, fn)
 }
 
-// Step advances the simulation by exactly one cycle.
+// Step advances the simulation by exactly one cycle: the compute phase
+// (serial shard-major, or on the worker pool when SetShards asked for
+// parallelism), then the commit phase in registration order, then the
+// Every hooks. For engines registered without shards the compute phase
+// degenerates to the classic single loop in registration order.
 func (e *Engine) Step() {
+	if !e.planOK {
+		e.buildPlan()
+	}
 	now := e.now
-	for i, t := range e.tickers {
-		if id := e.idlers[i]; id != nil && id.Idle(now) {
+	if p := e.parallelPool(); p != nil {
+		p.runCycle(now)
+	} else {
+		e.runShardSet(0, 1, now, &e.skipped)
+	}
+	for _, ti := range e.commitOrder {
+		if ci := e.cidlers[ti]; ci != nil && ci.CommitIdle(now) {
 			e.skipped++
 			continue
 		}
-		t.Tick(now)
+		e.phased[ti].Commit(now)
 	}
 	e.now++
 	if len(e.periodics) != 0 {
