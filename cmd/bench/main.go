@@ -22,9 +22,12 @@
 // Usage:
 //
 //	bench [-o BENCH.json] [-quick] [-jobs N]
+//	      [-cpuprofile FILE] [-memprofile FILE] [-pprof-http ADDR]
 //
 // -quick shrinks the workload scale and the sweep axis for CI smoke
 // runs; the numbers are then only comparable with other -quick runs.
+// The committed milestones are diffed and regression-gated by
+// cmd/benchdiff, which reads every schema version ever written here.
 package main
 
 import (
@@ -38,17 +41,23 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/exp"
 	"repro/internal/mem"
+	"repro/internal/obs/prof"
+	"repro/internal/obs/resource"
 )
 
 // BenchSchemaVersion identifies the JSON layout below. Version 2 added
-// the shard_scaling section (the sharded BSP engine); the PR 3 fields
-// are unchanged so trajectories stay comparable across milestones.
-const BenchSchemaVersion = 2
+// the shard_scaling section (the sharded BSP engine). Version 3
+// removes the `engine` block, which duplicated workloads[0] verbatim —
+// `engine_run` now names the pinned engine-throughput workload — and
+// adds off-engine resource telemetry: a whole-invocation `resources`
+// summary plus one per pinned workload (internal/obs/resource).
+const BenchSchemaVersion = 3
 
 // BenchJSON is the export schema: one file per benchmark invocation.
 // Host fields record the environment the numbers were taken on —
-// wall-clock results are only comparable across runs on similar hosts,
-// and Jobs beyond NumCPU cannot speed anything up.
+// wall-clock results are only comparable across runs on similar hosts
+// (cmd/benchdiff normalizes by exactly these fields), and Jobs beyond
+// NumCPU cannot speed anything up.
 type BenchJSON struct {
 	SchemaVersion int    `json:"schema_version"`
 	GoVersion     string `json:"go_version"`
@@ -58,10 +67,16 @@ type BenchJSON struct {
 	GOMAXPROCS    int    `json:"gomaxprocs"`
 	Quick         bool   `json:"quick"`
 
-	Engine       EngineBench     `json:"engine"`
+	// EngineRun names the workload whose throughput is the engine
+	// figure (always workloads[0], the pinned ocean/WTI run).
+	EngineRun    string          `json:"engine_run"`
 	Workloads    []WorkloadBench `json:"workloads"`
 	Sweep        SweepBench      `json:"sweep"`
 	ShardScaling []ShardBench    `json:"shard_scaling"`
+
+	// Resources is the process resource summary over the whole bench
+	// invocation (sweep and shard sections included).
+	Resources *resource.Summary `json:"resources,omitempty"`
 }
 
 // ShardBench is one point of the intra-run scaling curve: a pinned
@@ -77,20 +92,15 @@ type ShardBench struct {
 	Speedup       float64 `json:"speedup_vs_shards1"`
 }
 
-// EngineBench is the raw simulation-speed figure.
-type EngineBench struct {
-	Run           string  `json:"run"`
-	Cycles        uint64  `json:"cycles"`
-	WallMs        float64 `json:"wall_ms"`
-	MCyclesPerSec float64 `json:"mcycles_per_sec"`
-}
-
-// WorkloadBench is one pinned end-to-end run.
+// WorkloadBench is one pinned end-to-end run, with the off-engine
+// resource summary sampled while it executed.
 type WorkloadBench struct {
 	Run           string  `json:"run"`
 	Cycles        uint64  `json:"cycles"`
 	WallMs        float64 `json:"wall_ms"`
 	MCyclesPerSec float64 `json:"mcycles_per_sec"`
+
+	Resources *resource.Summary `json:"resources,omitempty"`
 }
 
 // SweepBench compares the serial and parallel grid runners.
@@ -107,10 +117,20 @@ func main() {
 	out := flag.String("o", "BENCH.json", "output JSON path (- for stdout)")
 	quick := flag.Bool("quick", false, "reduced scale for CI smoke runs")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "workers for the parallel sweep measurement")
+	profCfg := prof.RegisterFlags()
 	flag.Parse()
 	if err := rejectPositional(flag.Args()); err != nil {
 		fatal(err)
 	}
+	stopProf, err := profCfg.Start()
+	if err != nil {
+		fatal(err)
+	}
+
+	// Whole-invocation resource sampler: its summary shows where the
+	// bench process's memory went across all sections. Per-workload
+	// samplers below bracket the individual pins.
+	total := resource.Start(0)
 
 	b := BenchJSON{
 		SchemaVersion: BenchSchemaVersion,
@@ -136,17 +156,16 @@ func main() {
 		{Bench: exp.Water, Protocol: coherence.WTI, Arch: mem.Arch2, NumCPUs: 16},
 		{Bench: exp.Water, Protocol: coherence.WBMESI, Arch: mem.Arch2, NumCPUs: 16},
 	}
-	for i, r := range pins {
+	b.EngineRun = pins[0].Key()
+	for _, r := range pins {
 		w, err := timeRun(r, pinScale)
 		if err != nil {
 			fatal(err)
 		}
 		b.Workloads = append(b.Workloads, w)
-		if i == 0 {
-			b.Engine = EngineBench(w)
-		}
-		fmt.Fprintf(os.Stderr, "bench: %-24s %9d cycles  %8.1f ms  %6.3f Mcyc/s\n",
-			w.Run, w.Cycles, w.WallMs, w.MCyclesPerSec)
+		fmt.Fprintf(os.Stderr, "bench: %-24s %9d cycles  %8.1f ms  %6.3f Mcyc/s  heap peak %.1f MiB\n",
+			w.Run, w.Cycles, w.WallMs, w.MCyclesPerSec,
+			float64(w.Resources.HeapAllocPeak)/(1<<20))
 	}
 
 	// Sweep wall-clock: the figure grid, serial then parallel. The grid
@@ -204,6 +223,10 @@ func main() {
 		}
 	}
 
+	sum := total.Stop()
+	b.Resources = &sum
+	fmt.Fprintf(os.Stderr, "bench: %s\n", sum)
+
 	enc, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -211,28 +234,35 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := stopProf(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
 }
 
 // timeRun executes one pinned run and measures its wall time (workload
-// build and result verification included, as in the go benchmarks).
+// build and result verification included, as in the go benchmarks)
+// plus its process resource usage, sampled off-engine.
 func timeRun(r exp.Run, sc exp.Scale) (WorkloadBench, error) {
+	rs := resource.Start(0)
 	start := time.Now()
 	res, err := exp.Execute(r, sc)
+	wall := time.Since(start)
+	sum := rs.Stop()
 	if err != nil {
 		return WorkloadBench{}, err
 	}
-	wall := time.Since(start)
 	return WorkloadBench{
 		Run:           r.Key(),
 		Cycles:        res.Cycles,
 		WallMs:        ms(wall),
 		MCyclesPerSec: float64(res.Cycles) / wall.Seconds() / 1e6,
+		Resources:     &sum,
 	}, nil
 }
 

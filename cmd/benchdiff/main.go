@@ -1,0 +1,85 @@
+// Command benchdiff compares two BENCH_*.json milestones (any schema
+// version cmd/bench has written) and gates on throughput regressions:
+// it prints a per-run delta table and exits non-zero when any matched
+// run's Mcyc/s fell by more than the threshold.
+//
+// Usage:
+//
+//	benchdiff [-max-regress PCT] [-csv] OLD.json NEW.json
+//
+// Wall-clock numbers are only comparable between runs on the same
+// host, so the gate is normalized by the host fields every BENCH file
+// records (go_version, goos, goarch, num_cpu, gomaxprocs) plus the
+// quick flag: when any of them differ, the delta table is still
+// printed but the gate is skipped with a notice and the exit status is
+// zero. Simulated cycle counts, which never depend on the host, are
+// always compared; drift there is reported as a note (the engine's
+// behavior changed, which is a different conversation than speed).
+//
+// This is the CI bench regression gate: the workflow runs the quick
+// bench and diffs it against the committed same-host quick baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 10, "fail when a same-host run's Mcyc/s drops by more than this percent")
+	csv := flag.Bool("csv", false, "emit the delta table as CSV instead of aligned text")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress PCT] [-csv] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	if *maxRegress < 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -max-regress must be non-negative")
+		os.Exit(2)
+	}
+
+	old, err := loadBench(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	new, err := loadBench(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "benchdiff: old %s (schema v%d, %s, quick=%v)\n",
+		old.Path, old.SchemaVersion, old.hostKey(), old.Quick)
+	fmt.Fprintf(os.Stderr, "benchdiff: new %s (schema v%d, %s, quick=%v)\n",
+		new.Path, new.SchemaVersion, new.hostKey(), new.Quick)
+
+	rep := diffBench(old, new, *maxRegress)
+	if *csv {
+		fmt.Print(rep.Table.CSV())
+	} else {
+		fmt.Println(rep.Table.Render())
+	}
+	for _, n := range rep.Notes {
+		fmt.Fprintln(os.Stderr, "benchdiff: note:", n)
+	}
+
+	switch {
+	case rep.SkipReason != "":
+		fmt.Fprintf(os.Stderr, "benchdiff: wall-clock gate SKIPPED: %s\n", rep.SkipReason)
+	case len(rep.Regressions) > 0:
+		for _, r := range rep.Regressions {
+			fmt.Fprintln(os.Stderr, "benchdiff: REGRESSION:", r)
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: %d run(s) regressed beyond %.1f%% — failing\n",
+			len(rep.Regressions), *maxRegress)
+		os.Exit(1)
+	default:
+		fmt.Fprintf(os.Stderr, "benchdiff: gate ok (%d runs compared, threshold %.1f%%)\n",
+			rep.Compared, *maxRegress)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

@@ -6,6 +6,14 @@
 //	mcsim [-bench ocean|water|counter] [-protocol wti|wb] [-arch 1|2]
 //	      [-cpus N] [-noc gmn|mesh] [-strict] [-v]
 //	      [-fault drop=1e-4,delay=1e-3:8,seed=42]
+//	      [-resources DUR] [-resources-csv FILE]
+//	      [-cpuprofile FILE] [-memprofile FILE] [-pprof-http ADDR]
+//
+// -resources samples host-process resource usage (heap, GC, RSS) every
+// DUR from outside the engine; with -json the summary block is merged
+// into the output (exp.Report). The profiling flags are the standard
+// pprof hooks shared with sweep and bench (internal/obs/prof). None of
+// these observe-the-process knobs can change simulation results.
 package main
 
 import (
@@ -17,9 +25,12 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/coherence"
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
+	"repro/internal/obs/resource"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -61,8 +72,15 @@ func main() {
 	lurows := flag.Int("lurows", 3, "lu: matrix rows per processor")
 	faultSpec := flag.String("fault", "", "seeded NoC fault campaign, e.g. drop=1e-4,delay=1e-3:8,seed=42 (empty = no faults)")
 	shards := flag.Int("shards", 1, "compute-phase worker goroutines for this run (sharded BSP engine; results are byte-identical for every value)")
+	resInterval := flag.Duration("resources", 0, "sample host-process resources (heap, GC, RSS) every interval, e.g. 25ms (0 = off)")
+	resCSV := flag.String("resources-csv", "", "write the resource sample series as CSV (needs -resources)")
+	profCfg := prof.RegisterFlags()
 	flag.Parse()
 	if err := rejectPositional(flag.Args()); err != nil {
+		log.Fatal(err)
+	}
+	stopProf, err := profCfg.Start()
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -95,7 +113,6 @@ func main() {
 
 	l := mem.DefaultLayout(*cpus)
 	var spec *workload.Spec
-	var err error
 	switch *bench {
 	case "ocean":
 		spec, err = workload.BuildOcean(l, mode, workload.OceanParams{
@@ -155,10 +172,13 @@ func main() {
 	if *obsCSV != "" && *obsInterval == 0 {
 		log.Fatal("-obs-csv requires -obs-interval")
 	}
+	if *resCSV != "" && *resInterval == 0 {
+		log.Fatal("-resources-csv requires -resources")
+	}
 	// Open output files before the (possibly long) run so a bad path
 	// fails immediately instead of after the simulation finishes.
 	var rec *obs.Recorder
-	var traceFile, csvFile *os.File
+	var traceFile, csvFile, resFile *os.File
 	if *obsTrace != "" {
 		if traceFile, err = os.Create(*obsTrace); err != nil {
 			log.Fatal(err)
@@ -169,13 +189,36 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *resCSV != "" {
+		if resFile, err = os.Create(*resCSV); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *obsTrace != "" || *obsInterval > 0 {
 		rec = obs.New(obs.Config{Trace: *obsTrace != "", SampleInterval: *obsInterval})
 		sys.AttachObserver(rec)
 	}
+	// The resource sampler runs off-engine on its own goroutine; it
+	// brackets exactly the simulation, so the summary is per-run, not
+	// per-process.
+	var resSampler *resource.Sampler
+	if *resInterval > 0 {
+		resSampler = resource.Start(*resInterval)
+	}
 	res, err := sys.Run()
+	resSum := resSampler.Stop()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if resFile != nil {
+		if err := resSampler.WriteCSV(resFile); err != nil {
+			log.Fatal(err)
+		}
+		if err := resFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "obs: %d resource samples written to %s\n",
+			resSum.Samples, *resCSV)
 	}
 	if traceFile != nil {
 		if err := rec.WriteTrace(traceFile); err != nil {
@@ -216,7 +259,19 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := res.WriteJSON(os.Stdout); err != nil {
+		// With resource sampling on, the summary block is merged one
+		// layer above the deterministic Result JSON (exp.Report); the
+		// plain path keeps the byte-identical Result bytes the golden
+		// tests pin.
+		if resSum.Samples > 0 {
+			err = exp.NewReport(res, &resSum).Write(os.Stdout)
+		} else {
+			err = res.WriteJSON(os.Stdout)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := stopProf(); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -238,6 +293,9 @@ func main() {
 			series := rec.Sampler().Series(name)
 			fmt.Printf("%-16s %s\n", name, stats.Sparkline(series, 72))
 		}
+	}
+	if resSum.Samples > 0 {
+		fmt.Printf("\n%s\n", resSum)
 	}
 
 	if *verbose {
@@ -264,5 +322,8 @@ func main() {
 				m.WriteBacks, m.Swaps, m.IFetches, m.InvalsSent, m.Deferred)
 		}
 		fmt.Println(tb.Render())
+	}
+	if err := stopProf(); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -30,6 +30,8 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/exp"
+	"repro/internal/obs/prof"
+	"repro/internal/obs/resource"
 	"repro/internal/stats"
 )
 
@@ -44,9 +46,30 @@ func main() {
 	obsInterval := flag.Uint64("obs-interval", 0, "sample metrics every K cycles during figure-grid runs")
 	obsDir := flag.String("obs-dir", "", "directory for per-run interval CSVs (needs -obs-interval)")
 	faultSpec := flag.String("fault", "", "fault campaign spec for -exp fault (default: the built-in grid); e.g. drop=1e-4,delay=1e-3:8,seed=42")
+	resInterval := flag.Duration("resources", 0, "sample host-process resources every interval and print a summary on stderr at exit (0 = off)")
+	profCfg := prof.RegisterFlags()
 	flag.Parse()
 	if err := rejectPositional(flag.Args()); err != nil {
 		fatal(err)
+	}
+	stopProf, err := profCfg.Start()
+	if err != nil {
+		fatal(err)
+	}
+	// Profiling and resource sampling cover the whole sweep: for a
+	// tool whose unit of work is a grid of simulations, the per-
+	// invocation profile is the one that shows where the time and
+	// memory go. Deferred so every -exp branch is covered; an error
+	// path through fatal() exits without flushing profiles, which is
+	// fine — the run it would have profiled did not finish either.
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
+	if *resInterval > 0 {
+		rs := resource.Start(*resInterval)
+		defer func() { fmt.Fprintf(os.Stderr, "sweep: %s\n", rs.Stop()) }()
 	}
 
 	sizes, err := parseSizes(*sizesFlag)
