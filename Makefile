@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet lint race bench benchjson benchdiff sweep mcheck soak
+.PHONY: all build test check fmt vet lint lint-json race bench benchjson benchdiff sweep mcheck soak
 
 all: check
 
@@ -25,11 +25,21 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# lint runs the in-tree determinism analyzers: wall-clock and global
-# math/rand use in simulator packages, map-iteration on sim paths, and
-# non-exhaustive LineState switches (see internal/lint).
+# lint runs the in-tree analyzer suite (internal/lint): wall-clock and
+# global math/rand use in simulator packages, map-iteration on sim
+# paths, non-exhaustive LineState switches, BSP phase purity
+# (compute-phase code may not inject into the NoC or write globals),
+# hot-path allocations against the committed hotalloc.allow worklist,
+# and mixed atomic/plain field access. `simlint -list` prints the
+# roster.
 lint:
 	$(GO) run ./cmd/simlint
+
+# lint-json emits the same findings as a machine-readable JSON array
+# (simlint.json, gitignored) and GitHub ::error annotations on stdout;
+# CI uploads the file as an artifact. Exit status mirrors `lint`.
+lint-json:
+	$(GO) run ./cmd/simlint -json -o simlint.json -annotate
 
 # race covers the packages that actually share state under the sharded
 # BSP engine (engine/pool, protocol nodes, NoC delivery counters, fault

@@ -1,34 +1,129 @@
-// Command simlint runs the repository's custom determinism analyzers
-// (see internal/lint) over the module and exits nonzero on any finding.
-// It is part of `make check`: the simulator's results are only
-// trustworthy if two runs with the same seed are bit-identical, and
-// these analyzers reject the usual ways that property quietly erodes —
-// wall-clock reads, the process-global random generator, randomized
-// map iteration order, and non-exhaustive protocol-state switches.
+// Command simlint runs the repository's custom static analyzers (see
+// internal/lint) over the module and exits nonzero on any finding. It
+// is part of `make check`: the simulator's results are only
+// trustworthy if two runs with the same seed are bit-identical and the
+// sharded BSP schedule matches the serial one, and these analyzers
+// reject the usual ways those properties quietly erode — wall-clock
+// reads, the process-global random generator, randomized map iteration
+// order, non-exhaustive protocol-state switches, compute-phase code
+// that escapes its shard, new allocations on the declared hot paths,
+// and mixed atomic/plain field access.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or load error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
+	"text/tabwriter"
 
 	"repro/internal/lint"
 )
 
 func main() {
-	dir := flag.String("C", ".", "module root to analyze")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	findings, err := lint.Run(*dir)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "simlint:", err)
-		os.Exit(2)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "module root to analyze")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	outPath := fs.String("o", "", "write findings to this file instead of stdout")
+	annotate := fs.Bool("annotate", false, "also emit GitHub ::error workflow annotations on stdout")
+	list := fs.Bool("list", false, "print the analyzer roster with one-line docs and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "simlint: unexpected arguments: %s\n", strings.Join(fs.Args(), " "))
+		return 2
+	}
+
+	if *list {
+		tw := tabwriter.NewWriter(stdout, 0, 0, 2, ' ', 0)
+		for _, info := range lint.Roster() {
+			fmt.Fprintf(tw, "%s\t%s\n", info.Name, info.Doc)
+		}
+		tw.Flush()
+		return 0
+	}
+
+	var opts lint.Options
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				opts.Only = append(opts.Only, name)
+			}
+		}
+	}
+
+	findings, err := lint.RunOpts(*dir, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "simlint:", err)
+		return 2
+	}
+
+	out := io.Writer(stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "simlint:", err)
+			return 2
+		}
+		defer f.Close()
+		out = f
+	}
+
+	if *jsonOut {
+		// A findings-free run still emits a valid (empty) array so the
+		// CI annotation step can always parse the artifact.
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "simlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(out, f)
+		}
+	}
+	if *annotate {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, annotation(f))
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "simlint: %d finding(s)\n", len(findings))
+		return 1
 	}
+	return 0
+}
+
+// annotation renders one finding as a GitHub Actions workflow command,
+// surfacing it inline on the PR diff. Newlines and the characters the
+// command syntax reserves are percent-escaped per the Actions spec.
+func annotation(f lint.Finding) string {
+	msg := escapeData(fmt.Sprintf("[%s] %s", f.Analyzer, f.Message))
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d::%s",
+		escapeProp(f.Pos.Filename), f.Pos.Line, f.Pos.Column, msg)
+}
+
+func escapeData(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}
+
+func escapeProp(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+	return r.Replace(s)
 }

@@ -117,6 +117,8 @@ func (c *cacheArray) blockAddr(line int) uint32 {
 
 // probe locates the addressed block without touching replacement state
 // (used by invalidations, peeks, and the invariant checker).
+//
+//lint:hot
 func (c *cacheArray) probe(addr uint32) (line int, hit bool) {
 	set := c.setOf(addr)
 	tag := c.tagOf(addr)
@@ -132,6 +134,8 @@ func (c *cacheArray) probe(addr uint32) (line int, hit bool) {
 
 // lookup locates the addressed block and, on a hit, marks it most
 // recently used.
+//
+//lint:hot
 func (c *cacheArray) lookup(addr uint32) (line int, hit bool) {
 	line, hit = c.probe(addr)
 	if hit {

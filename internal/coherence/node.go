@@ -141,6 +141,10 @@ func (n *Node) Tick(now uint64) {
 // in-flight counter), so nodes of different shards may receive
 // concurrently. It never injects into the network — handlers enqueue
 // responses on the outbound port, which SendPhase drains.
+//
+// RecvPhase runs for every node every non-quiescent cycle: hot path.
+//
+//lint:hot
 func (n *Node) RecvPhase(now uint64) {
 	// The arrival check comes first: on the (common) cycles with
 	// nothing deliverable the sink is never consulted. Both sinks'
@@ -170,6 +174,10 @@ func (n *Node) RecvPhase(now uint64) {
 // nothing from this port enters the network — head-of-line blocking is
 // what keeps the per-(src,dst) FIFO guarantee intact across
 // retransmissions.
+//
+// SendPhase runs for every node every non-quiescent cycle: hot path.
+//
+//lint:hot
 func (n *Node) SendPhase(now uint64) {
 	for {
 		head, ok := n.outQ.Peek(now)

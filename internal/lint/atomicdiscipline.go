@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// atomicdiscipline enforces the all-or-nothing rule of sync/atomic: a
+// field whose address is ever passed to a sync/atomic function must be
+// accessed atomically *everywhere*. A single plain read racing an
+// atomic store is undefined behavior the -race matrix only catches on
+// schedules it happens to execute; this analyzer catches it on every
+// static access.
+//
+// The preferred fix is a typed atomic (atomic.Int64, atomic.Bool, …),
+// which makes plain access impossible by construction — the engine's
+// worker pool and the NoC occupancy gauges already use them and are
+// naturally invisible to this analyzer. It exists for the transitional
+// pattern of a plain field driven through atomic.AddUint64(&s.n, 1).
+type atomicdiscipline struct{}
+
+func (atomicdiscipline) name() string { return "atomicdiscipline" }
+
+func (atomicdiscipline) doc() string {
+	return "a field accessed via sync/atomic anywhere must be accessed atomically everywhere"
+}
+
+func (atomicdiscipline) checkModule(m *module) []Finding {
+	// Pass 1: find every field whose address reaches a sync/atomic call,
+	// remembering which selector nodes are the sanctioned atomic uses.
+	atomicFields := map[*types.Var]token.Position{} // field -> first atomic site
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, p := range m.pkgs {
+		for _, file := range p.files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(p, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					f := fieldObject(p, sel)
+					if f == nil {
+						continue
+					}
+					sanctioned[sel] = true
+					pos := m.fset.Position(un.Pos())
+					if first, seen := atomicFields[f]; !seen || before(pos, first) {
+						atomicFields[f] = pos
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selector touching one of those fields is a
+	// finding — a plain load or store racing the atomic ops.
+	var findings []Finding
+	for _, p := range m.pkgs {
+		for _, file := range p.files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				f := fieldObject(p, sel)
+				if f == nil {
+					return true
+				}
+				first, ok := atomicFields[f]
+				if !ok {
+					return true
+				}
+				findings = append(findings, Finding{
+					Pos:      m.fset.Position(sel.Sel.Pos()),
+					Analyzer: "atomicdiscipline",
+					Message: fmt.Sprintf("non-atomic access to field %s, which is accessed with sync/atomic at %s; "+
+						"mixing the two races — use sync/atomic here too, or better, a typed atomic (atomic.Int64 etc.)",
+						f.Name(), first),
+				})
+				return true
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return before(findings[i].Pos, findings[j].Pos) })
+	return findings
+}
+
+// isAtomicCall reports whether call invokes a function from sync/atomic
+// (package-level functions only; typed-atomic methods take no address
+// argument and need no discipline check).
+func isAtomicCall(p *pkg, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// fieldObject resolves a selector to the struct field it names, or nil.
+func fieldObject(p *pkg, sel *ast.SelectorExpr) *types.Var {
+	v, ok := p.info.Uses[sel.Sel].(*types.Var)
+	if ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// before orders positions by file, then line, then column.
+func before(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// bspFindings runs all analyzers over testdata/bspmod and returns
+// "<base-file>:<line>:<analyzer>" strings.
+func bspFindings(t *testing.T) ([]string, []Finding) {
+	t.Helper()
+	findings, err := Run(filepath.Join("testdata", "bspmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, filepath.Base(f.Pos.Filename)+":"+itoa(f.Pos.Line)+":"+f.Analyzer)
+	}
+	return got, findings
+}
+
+// TestBSPFixtureFindings pins the exact firing set of the three
+// module-wide analyzers over the bspmod fixture.
+func TestBSPFixtureFindings(t *testing.T) {
+	want := []string{
+		"allow.go:19:directive",         // //lint:allow without a reason
+		"allow.go:24:directive",         // //lint:allow with an unknown analyzer
+		"atomic.go:20:atomicdiscipline", // plain read of a sync/atomic field
+		"hot.go:34:hotalloc",            // make in Grow
+		"hot.go:40:hotalloc",            // fmt call reached from Grow
+		"hot.go:45:hotalloc",            // closure in Drain
+		"hot.go:47:hotalloc",            // new in Drain
+		"hot.go:49:hotalloc",            // string concat in Drain
+		"hot.go:52:hotalloc",            // interface-assignment boxing in Drain
+		"hot.go:54:hotalloc",            // &composite literal in Drain
+		"hot.go:62:hotalloc",            // interface-argument boxing in Report
+		"phase.go:29:phasepurity",       // Tick writes a package-level var
+		"phase.go:30:phasepurity",       // Tick calls commit-only Net.Inject
+		"phase.go:32:phasepurity",       // Tick calls //lint:commitphase publish
+		"phase.go:36:phasepurity",       // Idle writes a package-level var
+		"phase.go:49:phasepurity",       // Inject reached via helper -> injectAll
+		"phase.go:64:phasepurity",       // RecvPhase calls its own SendPhase
+	}
+	got, _ := bspFindings(t)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("findings:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestBSPFixtureNegatives spells out what must NOT fire: commit-phase
+// injection, shard-local writes, clean Phased types, allocations off
+// the hot set, allowlisted appends, typed atomics, suppressed findings.
+func TestBSPFixtureNegatives(t *testing.T) {
+	got, _ := bspFindings(t)
+	for _, f := range got {
+		for _, banned := range []string{
+			"phase.go:40:", "phase.go:41:", // Commit may inject and write globals
+			"phase.go:68:",                                 // SendPhase may inject
+			"phase.go:73:", "phase.go:74:", "phase.go:75:", // cleanShard is clean
+			"hot.go:17:",               // allocation-free Lookup
+			"hot.go:27:",               // Push's append is allowlisted
+			"hot.go:70:", "hot.go:71:", // coldPath is not hot-reachable
+			"atomic.go:14:", // the sanctioned atomic site
+			"atomic.go:16:", // typed atomic and plain cold field
+			"atomic.go:24:", // atomic.LoadUint64 + safe.Load + cold
+			"allow.go:12:",  // suppressed by //lint:allow with a reason
+		} {
+			if strings.HasPrefix(f, banned) {
+				t.Errorf("false positive: %s", f)
+			}
+		}
+	}
+}
+
+// TestBSPFixtureMessages checks the new analyzers' findings carry the
+// path/remediation context that makes them actionable.
+func TestBSPFixtureMessages(t *testing.T) {
+	_, findings := bspFindings(t)
+	var sawVia, sawAllowHint, sawAtomicSite bool
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "phasepurity":
+			if strings.Contains(f.Message, "via sim.(*shard).helper → sim.injectAll") {
+				sawVia = true
+			}
+			if !strings.Contains(f.Message, "compute phase") {
+				t.Errorf("phasepurity message lacks the phase context: %s", f.Message)
+			}
+		case "hotalloc":
+			if strings.Contains(f.Message, "hotalloc.allow") {
+				sawAllowHint = true
+			}
+		case "atomicdiscipline":
+			if strings.Contains(f.Message, "atomic.go:14") {
+				sawAtomicSite = true
+			}
+		}
+	}
+	if !sawVia {
+		t.Error("no phasepurity finding reports the helper → injectAll call path")
+	}
+	if !sawAllowHint {
+		t.Error("no hotalloc finding points at hotalloc.allow")
+	}
+	if !sawAtomicSite {
+		t.Error("atomicdiscipline finding does not cite the first atomic site")
+	}
+}
+
+// TestHotallocAllowlistHygiene copies bspmod into a temp dir, corrupts
+// its allowlist with a stale and a reasonless entry, and expects both
+// to surface as findings while valid suppression keeps working.
+func TestHotallocAllowlistHygiene(t *testing.T) {
+	dir := copyModule(t, filepath.Join("testdata", "bspmod"))
+	allowPath := filepath.Join(dir, "hotalloc.allow")
+	extra := "(*repro/internal/sim.ring).Gone make — this function no longer exists\n" +
+		"(*repro/internal/sim.ring).Grow make\n"
+	appendFile(t, allowPath, extra)
+
+	findings, err := Run(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawStale, sawNoReason, sawPushAppend bool
+	for _, f := range findings {
+		if f.Analyzer != "hotalloc" {
+			continue
+		}
+		if strings.Contains(f.Message, "stale allowlist entry") && strings.Contains(f.Message, "Gone") {
+			sawStale = true
+		}
+		if strings.Contains(f.Message, "has no reason") && strings.Contains(f.Message, "Grow") {
+			sawNoReason = true
+		}
+		if strings.Contains(f.Message, "Push") {
+			sawPushAppend = true
+		}
+	}
+	if !sawStale {
+		t.Error("stale allowlist entry not reported")
+	}
+	if !sawNoReason {
+		t.Error("reasonless allowlist entry not reported")
+	}
+	if sawPushAppend {
+		t.Error("valid allowlist entry stopped suppressing Push's append")
+	}
+}
+
+// TestOnlySelection verifies -only semantics: a restricted run reports
+// exactly that analyzer's findings (no directive hygiene), and an
+// unknown name is an error naming the roster.
+func TestOnlySelection(t *testing.T) {
+	findings, err := RunOpts(filepath.Join("testdata", "bspmod"), Options{Only: []string{"atomicdiscipline"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "atomicdiscipline" {
+		t.Fatalf("only=atomicdiscipline: got %v", findings)
+	}
+
+	_, err = RunOpts(filepath.Join("testdata", "bspmod"), Options{Only: []string{"nosuch"}})
+	if err == nil || !strings.Contains(err.Error(), `unknown analyzer "nosuch"`) ||
+		!strings.Contains(err.Error(), "phasepurity") {
+		t.Fatalf("unknown -only name: err = %v", err)
+	}
+}
+
+// TestRoster pins the analyzer roster the -list flag prints.
+func TestRoster(t *testing.T) {
+	var names []string
+	for _, info := range Roster() {
+		names = append(names, info.Name)
+		if info.Doc == "" {
+			t.Errorf("analyzer %s has no one-line doc", info.Name)
+		}
+	}
+	want := []string{"walltime", "globalrand", "maprange", "exhaustive",
+		"phasepurity", "hotalloc", "atomicdiscipline"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("roster = %v, want %v", names, want)
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	for _, c := range []struct {
+		in, analyzer, reason string
+		ok                   bool
+	}{
+		{"//lint:allow maprange — order-independent sum", "maprange", "order-independent sum", true},
+		{"//lint:allow maprange order-independent sum", "maprange", "order-independent sum", true},
+		{"//lint:allow maprange", "maprange", "", true},
+		{"//lint:allow", "", "", true},
+		{"//lint:allowmaprange", "", "", false},
+		{"// lint:allow maprange", "", "", false},
+		{"// regular comment", "", "", false},
+	} {
+		analyzer, reason, ok := parseAllow(c.in)
+		if analyzer != c.analyzer || reason != c.reason || ok != c.ok {
+			t.Errorf("parseAllow(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.in, analyzer, reason, ok, c.analyzer, c.reason, c.ok)
+		}
+	}
+}
+
+// copyModule clones a fixture module into a temp dir so a test can
+// mutate it.
+func copyModule(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+func appendFile(t *testing.T, path, text string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, text...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

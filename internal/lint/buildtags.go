@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/build/constraint"
+	"go/token"
+	"runtime"
+	"strings"
+)
+
+// ExtraBuildTags are custom build tags treated as enabled when the
+// loader evaluates //go:build constraints. The soak tier (the nightly
+// fault grid behind `-tags soak`) must stay under analysis: a
+// nondeterministic soak test is still a flaky test.
+var ExtraBuildTags = []string{"soak"}
+
+// knownOS / knownArch drive the _GOOS/_GOARCH filename suffix rule,
+// mirroring go/build's lists.
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"js": true, "linux": true, "nacl": true, "netbsd": true,
+	"openbsd": true, "plan9": true, "solaris": true, "wasip1": true,
+	"windows": true, "zos": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "sparc64": true, "wasm": true,
+}
+
+// unixOS is the set of GOOS values the "unix" build tag covers.
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// tagEnabled is the build-tag oracle: host GOOS/GOARCH, the derived
+// "unix" tag, any Go release tag (the toolchain running the analyzers
+// is at least as new as the module's go directive), and the extra tags.
+func tagEnabled(tag string) bool {
+	switch {
+	case tag == runtime.GOOS || tag == runtime.GOARCH:
+		return true
+	case tag == "unix":
+		return unixOS[runtime.GOOS]
+	case strings.HasPrefix(tag, "go1"):
+		return true
+	}
+	for _, t := range ExtraBuildTags {
+		if tag == t {
+			return true
+		}
+	}
+	return false
+}
+
+// filenameIncluded applies the _GOOS/_GOARCH filename suffix rule: a
+// file named *_GOOS.go, *_GOARCH.go or *_GOOS_GOARCH.go (with an
+// optional _test before .go) builds only when the suffix matches the
+// host. Mirrors go/build.goodOSArchFile.
+func filenameIncluded(name string) bool {
+	name = strings.TrimSuffix(name, ".go")
+	name = strings.TrimSuffix(name, "_test")
+	// The suffix rule only applies when something precedes it, so a
+	// file literally named linux.go is not constrained.
+	parts := strings.Split(name, "_")
+	if len(parts) >= 3 && knownOS[parts[len(parts)-2]] && knownArch[parts[len(parts)-1]] {
+		return parts[len(parts)-2] == runtime.GOOS && parts[len(parts)-1] == runtime.GOARCH
+	}
+	if len(parts) >= 2 {
+		last := parts[len(parts)-1]
+		if knownOS[last] {
+			return last == runtime.GOOS
+		}
+		if knownArch[last] {
+			return last == runtime.GOARCH
+		}
+	}
+	return true
+}
+
+// constraintIncluded evaluates the file's build constraint, if any,
+// against tagEnabled. A //go:build line wins; otherwise legacy
+// // +build lines are ANDed, as go/build does.
+func constraintIncluded(fset *token.FileSet, f *ast.File) bool {
+	expr, ok := fileConstraint(fset, f)
+	if !ok {
+		return true
+	}
+	return expr.Eval(tagEnabled)
+}
+
+// fileConstraint extracts the build constraint governing f: the first
+// //go:build line above the package clause, else the conjunction of
+// any legacy // +build lines there.
+func fileConstraint(fset *token.FileSet, f *ast.File) (constraint.Expr, bool) {
+	pkgLine := fset.Position(f.Package).Line
+	var plus []constraint.Expr
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if fset.Position(c.Pos()).Line >= pkgLine {
+				// Constraints must precede the package clause.
+				return andAll(plus)
+			}
+			switch {
+			case constraint.IsGoBuild(c.Text):
+				expr, err := constraint.Parse(c.Text)
+				if err != nil {
+					return nil, false // malformed: let the typechecker surface it
+				}
+				return expr, true
+			case constraint.IsPlusBuild(c.Text):
+				if expr, err := constraint.Parse(c.Text); err == nil {
+					plus = append(plus, expr)
+				}
+			}
+		}
+	}
+	return andAll(plus)
+}
+
+func andAll(exprs []constraint.Expr) (constraint.Expr, bool) {
+	if len(exprs) == 0 {
+		return nil, false
+	}
+	expr := exprs[0]
+	for _, e := range exprs[1:] {
+		expr = &constraint.AndExpr{X: expr, Y: e}
+	}
+	return expr, true
+}

@@ -1,0 +1,367 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the module-wide static call graph the BSP-aware
+// analyzers (phasepurity, hotalloc) walk. It is deliberately
+// conservative where Go's dynamism forces a choice:
+//
+//   - Direct calls and concrete method calls resolve to their single
+//     callee.
+//   - Interface method calls resolve to *every* module type that
+//     implements the interface — a superset of the dynamic targets, so
+//     a violation can never hide behind an interface.
+//   - Calls through function values (closures, func fields, TickFunc)
+//     are not resolved; the few hot-path uses (Trace hooks, Every
+//     samplers) are contractually observe-only and remain covered by
+//     the -race matrix.
+//
+// Two comment directives feed the graph:
+//
+//	//lint:hot          — marks a function as a hot-path root for the
+//	                      hotalloc analyzer.
+//	//lint:commitphase  — marks a function (or interface method) as
+//	                      callable only from the serial commit phase;
+//	                      phasepurity reports any compute-phase path
+//	                      reaching it.
+type module struct {
+	dir  string
+	fset *token.FileSet
+	pkgs []*pkg // base packages only (strictly typechecked)
+
+	funcs map[*types.Func]*funcNode
+
+	// commitOnly holds every function object that must not be reached
+	// from a compute phase: //lint:commitphase functions, interface
+	// methods so marked, their implementing concrete methods, and the
+	// SendPhase of every RecvPhase/SendPhase pair.
+	commitOnly map[*types.Func]string // obj -> origin note
+
+	// implCache memoizes interface-method resolution.
+	implCache map[implKey][]*types.Func
+
+	namedTypes []*types.Named
+}
+
+type funcNode struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *pkg
+	hot  bool
+	// calls are the resolved outgoing edges, in source order.
+	calls []callSite
+}
+
+// callSite is one call expression with its resolved static targets.
+type callSite struct {
+	pos token.Pos
+	// iface is the interface method object for dynamic-dispatch calls
+	// (nil for direct calls); callees are the possible targets.
+	iface   *types.Func
+	callees []*types.Func
+}
+
+type implKey struct {
+	iface *types.Interface
+	name  string
+}
+
+// buildModule indexes every function of the module's base packages and
+// resolves their call edges.
+func buildModule(dir string, fset *token.FileSet, pkgs []*pkg) *module {
+	m := &module{
+		dir: dir, fset: fset,
+		funcs:      map[*types.Func]*funcNode{},
+		commitOnly: map[*types.Func]string{},
+		implCache:  map[implKey][]*types.Func{},
+	}
+	for _, p := range pkgs {
+		if p.isTest || p.tpkg == nil {
+			continue
+		}
+		m.pkgs = append(m.pkgs, p)
+	}
+	// Index named types (for interface resolution) and function decls.
+	for _, p := range m.pkgs {
+		scope := p.tpkg.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+				if named, ok := tn.Type().(*types.Named); ok && named.TypeParams().Len() == 0 {
+					m.namedTypes = append(m.namedTypes, named)
+				}
+			}
+		}
+		for _, file := range p.files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					obj, ok := p.info.Defs[d.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					node := &funcNode{obj: obj, decl: d, pkg: p}
+					if hasDirective(d.Doc, "//lint:hot") {
+						node.hot = true
+					}
+					if hasDirective(d.Doc, "//lint:commitphase") {
+						m.commitOnly[obj] = "marked //lint:commitphase"
+					}
+					m.funcs[obj] = node
+				case *ast.GenDecl:
+					m.indexInterfaceDirectives(p, d)
+				}
+			}
+		}
+	}
+	m.markStructuralCommitOnly()
+	m.expandIfaceCommitOnly()
+	for _, node := range m.funcs { //simlint:ignore maprange — edge building is order-independent
+		m.resolveCalls(node)
+	}
+	return m
+}
+
+// indexInterfaceDirectives picks up //lint:commitphase on interface
+// method declarations (the noc.Network Inject/Tick contract).
+func (m *module) indexInterfaceDirectives(p *pkg, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		it, ok := ts.Type.(*ast.InterfaceType)
+		if !ok {
+			continue
+		}
+		for _, field := range it.Methods.List {
+			if !hasDirective(field.Doc, "//lint:commitphase") || len(field.Names) == 0 {
+				continue
+			}
+			if obj, ok := p.info.Defs[field.Names[0]].(*types.Func); ok {
+				m.commitOnly[obj] = "marked //lint:commitphase"
+			}
+		}
+	}
+}
+
+// markStructuralCommitOnly applies the RecvPhase/SendPhase convention:
+// whenever a type declares both, its SendPhase is commit-only — that
+// split exists precisely so the sharded schedule can run the halves in
+// different phases.
+func (m *module) markStructuralCommitOnly() {
+	for _, named := range m.namedTypes {
+		recv := m.methodOf(named, "RecvPhase")
+		send := m.methodOf(named, "SendPhase")
+		if recv != nil && send != nil {
+			if _, done := m.commitOnly[send]; !done {
+				m.commitOnly[send] = "the SendPhase of a RecvPhase/SendPhase pair"
+			}
+		}
+	}
+}
+
+// expandIfaceCommitOnly propagates commit-only interface methods to
+// every module method that implements them, so a direct call on the
+// concrete type (gmn.Inject rather than Network.Inject) is caught too.
+func (m *module) expandIfaceCommitOnly() {
+	marked := make([]*types.Func, 0, len(m.commitOnly))
+	for obj := range m.commitOnly { //simlint:ignore maprange — marking is order-independent
+		marked = append(marked, obj)
+	}
+	for _, obj := range marked {
+		sig := obj.Type().(*types.Signature)
+		recv := sig.Recv()
+		if recv == nil {
+			continue
+		}
+		iface, ok := recv.Type().Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		for _, impl := range m.implementations(iface, obj.Name()) {
+			if _, done := m.commitOnly[impl]; !done {
+				m.commitOnly[impl] = "implements commit-phase-only " + obj.Name()
+			}
+		}
+	}
+}
+
+// methodOf returns the method named name in the full (pointer) method
+// set of named, if declared in this module.
+func (m *module) methodOf(named *types.Named, name string) *types.Func {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), false, named.Obj().Pkg(), name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if _, inModule := m.funcs[fn]; !inModule {
+		return nil
+	}
+	return fn
+}
+
+// implementations returns every module method that can be the dynamic
+// target of a call to iface's method name, sorted for determinism.
+func (m *module) implementations(iface *types.Interface, name string) []*types.Func {
+	key := implKey{iface: iface, name: name}
+	if impls, ok := m.implCache[key]; ok {
+		return impls
+	}
+	var impls []*types.Func
+	for _, named := range m.namedTypes {
+		if types.IsInterface(named) {
+			continue
+		}
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		if fn := m.methodOf(named, name); fn != nil {
+			impls = append(impls, fn)
+		}
+	}
+	sort.Slice(impls, func(i, j int) bool { return impls[i].FullName() < impls[j].FullName() })
+	m.implCache[key] = impls
+	return impls
+}
+
+// resolveCalls walks one function body and records its outgoing edges.
+func (m *module) resolveCalls(node *funcNode) {
+	if node.decl.Body == nil {
+		return
+	}
+	info := node.pkg.info
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		site := callSite{pos: call.Lparen}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fn, ok := info.Uses[fun].(*types.Func); ok {
+				site.callees = []*types.Func{origin(fn)}
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[fun]; ok && (sel.Kind() == types.MethodVal || sel.Kind() == types.MethodExpr) {
+				fn := origin(sel.Obj().(*types.Func))
+				if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+					site.iface = fn
+					site.callees = m.implementations(iface, fn.Name())
+				} else {
+					site.callees = []*types.Func{fn}
+				}
+			} else if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+				// Package-qualified call (pkg.Func).
+				site.callees = []*types.Func{origin(fn)}
+			}
+		}
+		if site.iface != nil || len(site.callees) > 0 {
+			node.calls = append(node.calls, site)
+		}
+		return true
+	})
+}
+
+// origin maps an instantiated generic method/function back to its
+// declaration object, the key funcs is indexed by.
+func origin(fn *types.Func) *types.Func { return fn.Origin() }
+
+// phaseRoots returns the compute-phase entry points, sorted: the Tick
+// and Idle methods of every type that also declares Commit (the
+// sim.Phased shape), and the RecvPhase of every RecvPhase/SendPhase
+// pair. Signatures are checked loosely (first parameter uint64) so the
+// detection does not depend on importing internal/sim.
+func (m *module) phaseRoots() []*funcNode {
+	var roots []*funcNode
+	seen := map[*types.Func]bool{}
+	add := func(fn *types.Func) {
+		if fn != nil && !seen[fn] {
+			if node := m.funcs[fn]; node != nil {
+				seen[fn] = true
+				roots = append(roots, node)
+			}
+		}
+	}
+	for _, named := range m.namedTypes {
+		tick := m.methodOf(named, "Tick")
+		commit := m.methodOf(named, "Commit")
+		if tick != nil && commit != nil && cycleMethod(tick) && cycleMethod(commit) {
+			add(tick)
+			if idle := m.methodOf(named, "Idle"); idle != nil && cycleMethod(idle) {
+				add(idle)
+			}
+		}
+		recv := m.methodOf(named, "RecvPhase")
+		send := m.methodOf(named, "SendPhase")
+		if recv != nil && send != nil && cycleMethod(recv) {
+			add(recv)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].obj.FullName() < roots[j].obj.FullName() })
+	return roots
+}
+
+// cycleMethod reports whether fn looks like a per-cycle phase method:
+// exactly one parameter, of type uint64 (the cycle counter).
+func cycleMethod(fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 1 {
+		return false
+	}
+	basic, ok := sig.Params().At(0).Type().(*types.Basic)
+	return ok && basic.Kind() == types.Uint64
+}
+
+// hotRoots returns the //lint:hot functions, sorted.
+func (m *module) hotRoots() []*funcNode {
+	var roots []*funcNode
+	for _, node := range m.funcs { //simlint:ignore maprange — sorted immediately below
+		if node.hot {
+			roots = append(roots, node)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].obj.FullName() < roots[j].obj.FullName() })
+	return roots
+}
+
+// hasDirective reports whether the comment group contains a line whose
+// directive prefix matches (exactly, or followed by explanatory text).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDisplay renders a compact human-readable function name:
+// pkg.(*Recv).Name or pkg.Name.
+func funcDisplay(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	pkgName := ""
+	if fn.Pkg() != nil {
+		pkgName = fn.Pkg().Name() + "."
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		ptr := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			ptr = "*"
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkgName + "(" + ptr + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return pkgName + fn.Name()
+}

@@ -14,6 +14,10 @@ type walltime struct{}
 
 func (walltime) name() string { return "walltime" }
 
+func (walltime) doc() string {
+	return "no wall-clock reads in simulation packages; simulated time is the only clock"
+}
+
 var walltimeFuncs = map[string]bool{
 	"Now": true, "Since": true, "Until": true,
 	"Tick": true, "After": true, "AfterFunc": true,
@@ -40,6 +44,10 @@ func (w walltime) check(p *pkg, report func(token.Pos, string)) {
 type globalrand struct{}
 
 func (globalrand) name() string { return "globalrand" }
+
+func (globalrand) doc() string {
+	return "no process-global math/rand draws; thread an explicitly seeded generator"
+}
 
 // globalrandAllowed are the math/rand functions that construct an
 // explicit generator rather than using the global one.

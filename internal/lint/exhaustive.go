@@ -22,6 +22,10 @@ type exhaustive struct{}
 
 func (exhaustive) name() string { return "exhaustive" }
 
+func (exhaustive) doc() string {
+	return "LineState switches name every protocol state or carry a default (module-wide)"
+}
+
 // lineStates maps the required constant values to their names,
 // mirroring coherence.LineState (Invalid = 0 is exempt).
 var lineStates = map[int64]string{

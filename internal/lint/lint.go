@@ -1,11 +1,13 @@
 // Package lint implements the repository's custom static analyzers.
-// They enforce the property every result in this study depends on:
-// *the simulator is a deterministic function of its configuration and
-// seed*. Two runs with the same flags must produce bit-identical
-// statistics, and the model checker's replay-based search is only sound
-// if re-running a choice path reproduces the same state.
+// They enforce the two properties every result in this study depends
+// on: *the simulator is a deterministic function of its configuration
+// and seed*, and *the sharded BSP schedule is byte-identical to the
+// serial one*. Two runs with the same flags must produce bit-identical
+// statistics, the model checker's replay-based search is only sound if
+// re-running a choice path reproduces the same state, and the sharded
+// engine is only sound if compute-phase code never escapes its shard.
 //
-// Analyzers (all scoped to the simulation packages listed in
+// Per-package analyzers (scoped to the simulation packages listed in
 // DeterminismPackages unless noted):
 //
 //   - walltime: forbids reading the wall clock (time.Now, time.Since,
@@ -25,11 +27,38 @@
 //     every transition decision. Invalid is exempt: hit-guarded
 //     switches legitimately never see it.
 //
+// Module-wide analyzers (built on the call graph in callgraph.go):
+//
+//   - phasepurity: starting from every compute-phase entry point (the
+//     Tick/Idle methods of sim.Phased implementations and every
+//     RecvPhase of a RecvPhase/SendPhase pair), walks the call graph
+//     and reports calls to commit-phase-only functions (network
+//     injection, SendPhase, anything marked `//lint:commitphase`) and
+//     writes to package-level variables. This is the static half of the
+//     BSP contract that makes `-shards N` byte-identical to serial.
+//   - hotalloc: reports heap-allocation constructs (make, new, append,
+//     closures, fmt calls, string concatenation, interface boxing,
+//     escaping composite literals) in code reachable from functions
+//     marked `//lint:hot`. Findings are suppressed per function+kind by
+//     the committed hotalloc.allow file, whose entries must carry a
+//     reason — the file is the zero-alloc worklist, and a new
+//     allocation on a hot path fails the gate.
+//   - atomicdiscipline: a struct field whose address is passed to a
+//     sync/atomic function anywhere must be accessed through
+//     sync/atomic everywhere; a single plain read of a shared counter
+//     is a data race under the sharded compute phase.
+//
+// Suppressions: `//simlint:ignore <analyzer> <reason>` (legacy, reason
+// optional) or `//lint:allow <analyzer> <reason>` (reason required; a
+// reasonless or unknown-analyzer allow is itself reported, as analyzer
+// "directive") on the finding's line or the line directly above it.
+//
 // The analyzers are built on go/parser and go/types only — no external
 // analysis framework — so the gate runs anywhere the Go toolchain does.
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/token"
 	"sort"
@@ -63,17 +92,87 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
+// findingJSON is the machine-readable shape emitted by MarshalJSON and
+// consumed by the CI annotation step; field names are part of the
+// simlint -json contract.
+type findingJSON struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// MarshalJSON flattens the token.Position into stable file/line/col
+// fields for `simlint -json`.
+func (f Finding) MarshalJSON() ([]byte, error) {
+	return json.Marshal(findingJSON{
+		File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+		Analyzer: f.Analyzer, Message: f.Message,
+	})
+}
+
 // analyzer inspects one typechecked package and reports findings.
 type analyzer interface {
 	name() string
+	doc() string
 	check(p *pkg, report func(pos token.Pos, msg string))
+}
+
+// moduleAnalyzer inspects the whole module at once (it needs the
+// cross-package call graph) and returns its findings directly.
+type moduleAnalyzer interface {
+	name() string
+	doc() string
+	checkModule(m *module) []Finding
+}
+
+// pkgAnalyzers and modAnalyzers together are the roster, in the order
+// -list prints them.
+var pkgAnalyzers = []analyzer{walltime{}, globalrand{}, maprange{}, exhaustive{}}
+var modAnalyzers = []moduleAnalyzer{phasepurity{}, hotalloc{}, atomicdiscipline{}}
+
+// AnalyzerInfo names one analyzer for the -list roster.
+type AnalyzerInfo struct {
+	Name string
+	Doc  string
+}
+
+// Roster returns every selectable analyzer with its one-line doc, in
+// display order. (The framework-level "directive" hygiene findings are
+// always on and not selectable.)
+func Roster() []AnalyzerInfo {
+	var out []AnalyzerInfo
+	for _, a := range pkgAnalyzers {
+		out = append(out, AnalyzerInfo{Name: a.name(), Doc: a.doc()})
+	}
+	for _, a := range modAnalyzers {
+		out = append(out, AnalyzerInfo{Name: a.name(), Doc: a.doc()})
+	}
+	return out
+}
+
+// Options controls a Run.
+type Options struct {
+	// Only restricts the run to the named analyzers. Empty means all.
+	// Unknown names are an error (the CLI turns it into exit 2).
+	Only []string
 }
 
 // Run loads every package of the module rooted at dir, typechecks it,
 // and runs all analyzers. Findings come back sorted by position.
 // Test files are analyzed too: a nondeterministic test is a flaky test.
 func Run(dir string) ([]Finding, error) {
-	pkgs, fset, err := loadModule(dir)
+	return RunOpts(dir, Options{})
+}
+
+// RunOpts is Run with analyzer selection.
+func RunOpts(dir string, opts Options) ([]Finding, error) {
+	selected, err := selectAnalyzers(opts.Only)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, fset, dirs, err := loadModule(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -81,20 +180,41 @@ func Run(dir string) ([]Finding, error) {
 	for _, p := range DeterminismPackages {
 		determinism[p] = true
 	}
-	analyzers := []analyzer{walltime{}, globalrand{}, maprange{}, exhaustive{}}
 	var findings []Finding
 	for _, p := range pkgs {
 		p.determinismScoped = determinism[p.importPath]
-		for _, a := range analyzers {
+		for _, a := range pkgAnalyzers {
+			if !selected[a.name()] {
+				continue
+			}
 			a := a
 			a.check(p, func(pos token.Pos, msg string) {
 				position := fset.Position(pos)
-				if p.suppressed(a.name(), position.Line) {
+				if dirs.suppressed(a.name(), position) {
 					return
 				}
 				findings = append(findings, Finding{Pos: position, Analyzer: a.name(), Message: msg})
 			})
 		}
+	}
+	if anySelected(selected, modAnalyzers) {
+		m := buildModule(dir, fset, pkgs)
+		for _, a := range modAnalyzers {
+			if !selected[a.name()] {
+				continue
+			}
+			for _, f := range a.checkModule(m) {
+				if dirs.suppressed(a.name(), f.Pos) {
+					continue
+				}
+				findings = append(findings, f)
+			}
+		}
+	}
+	// Directive hygiene runs only on full runs so `-only globalrand`
+	// answers exactly the question it was asked.
+	if len(opts.Only) == 0 {
+		findings = append(findings, dirs.hygieneFindings()...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -112,21 +232,109 @@ func Run(dir string) ([]Finding, error) {
 	return findings, nil
 }
 
-// suppressed reports whether `//simlint:ignore <name>` appears on the
-// finding's line or the line directly above it.
-func (p *pkg) suppressed(analyzer string, line int) bool {
-	for _, l := range []int{line, line - 1} {
-		for _, c := range p.ignoreComments[l] {
-			if c == analyzer {
-				return true
+// selectAnalyzers resolves an -only list against the roster, rejecting
+// unknown names.
+func selectAnalyzers(only []string) (map[string]bool, error) {
+	known := map[string]bool{}
+	for _, info := range Roster() {
+		known[info.Name] = true
+	}
+	if len(only) == 0 {
+		return known, nil
+	}
+	selected := map[string]bool{}
+	for _, name := range only {
+		if !known[name] {
+			var names []string
+			for _, info := range Roster() {
+				names = append(names, info.Name)
 			}
+			return nil, fmt.Errorf("lint: unknown analyzer %q (known: %s)", name, strings.Join(names, ", "))
+		}
+		selected[name] = true
+	}
+	return selected, nil
+}
+
+func anySelected(selected map[string]bool, as []moduleAnalyzer) bool {
+	for _, a := range as {
+		if selected[a.name()] {
+			return true
 		}
 	}
 	return false
 }
 
-// parseIgnore extracts the analyzer name from a suppression comment,
-// returning "" if the comment is not one.
+// allowDirective is one parsed suppression comment.
+type allowDirective struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	legacy   bool // //simlint:ignore form (reason optional)
+}
+
+// directives holds every suppression comment of the module, keyed by
+// file so same-numbered lines of different files cannot shadow each
+// other.
+type directives struct {
+	byFile map[string][]allowDirective
+	known  map[string]bool // analyzer names, for hygiene checks
+}
+
+func newDirectives() *directives {
+	d := &directives{byFile: map[string][]allowDirective{}, known: map[string]bool{}}
+	for _, info := range Roster() {
+		d.known[info.Name] = true
+	}
+	return d
+}
+
+func (d *directives) add(a allowDirective) {
+	d.byFile[a.pos.Filename] = append(d.byFile[a.pos.Filename], a)
+}
+
+// suppressed reports whether a directive for the analyzer appears on
+// the finding's line or the line directly above it. A //lint:allow
+// without a reason does not suppress — the reason is the audit trail.
+func (d *directives) suppressed(analyzer string, pos token.Position) bool {
+	for _, a := range d.byFile[pos.Filename] {
+		if a.analyzer != analyzer || (a.line() != pos.Line && a.line() != pos.Line-1) {
+			continue
+		}
+		if a.legacy || a.reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func (a allowDirective) line() int { return a.pos.Line }
+
+// hygieneFindings reports malformed //lint:allow directives: a missing
+// reason (the directive then suppresses nothing) or an unknown analyzer
+// name (usually a typo that silently disarms the suppression).
+func (d *directives) hygieneFindings() []Finding {
+	var out []Finding
+	for _, as := range d.byFile { //simlint:ignore maprange — findings are sorted by the caller
+		for _, a := range as {
+			if a.legacy {
+				continue
+			}
+			switch {
+			case !d.known[a.analyzer]:
+				out = append(out, Finding{Pos: a.pos, Analyzer: "directive",
+					Message: fmt.Sprintf("//lint:allow names unknown analyzer %q; the suppression is inert", a.analyzer)})
+			case a.reason == "":
+				out = append(out, Finding{Pos: a.pos, Analyzer: "directive",
+					Message: "//lint:allow needs a reason (`//lint:allow " + a.analyzer + " <why>`); a reasonless allow suppresses nothing"})
+			}
+		}
+	}
+	return out
+}
+
+// parseIgnore extracts the analyzer name from a legacy suppression
+// comment, returning "" if the comment is not one.
 func parseIgnore(text string) string {
 	const prefix = "//simlint:ignore "
 	if !strings.HasPrefix(text, prefix) {
@@ -137,4 +345,25 @@ func parseIgnore(text string) string {
 		rest = rest[:i]
 	}
 	return rest
+}
+
+// parseAllow extracts analyzer and reason from a //lint:allow comment,
+// returning ok=false if the comment is not one. The reason may lead
+// with a dash or em-dash separator, which is stripped.
+func parseAllow(text string) (analyzer, reason string, ok bool) {
+	const prefix = "//lint:allow"
+	rest, found := strings.CutPrefix(text, prefix)
+	if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", "", false
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return "", "", true // malformed: no analyzer; hygiene reports it
+	}
+	analyzer = rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		analyzer, reason = rest[:i], strings.TrimSpace(rest[i:])
+	}
+	reason = strings.TrimSpace(strings.TrimLeft(reason, "-—– "))
+	return analyzer, reason, true
 }

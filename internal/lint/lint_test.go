@@ -40,10 +40,11 @@ func TestFixtureFindings(t *testing.T) {
 	want := []string{
 		"main.go:21:exhaustive",   // LineState rule applies module-wide
 		"states.go:17:exhaustive", // missing Owned
-		"bad.go:11:walltime",      // time.Now
-		"bad.go:12:walltime",      // time.Since
-		"bad.go:17:globalrand",    // rand.Intn on the global generator
-		"bad.go:27:maprange",      // unsorted map range
+		"states.go:71:exhaustive", // missing Exclusive and Owned
+		"bad.go:12:walltime",      // time.Now
+		"bad.go:13:walltime",      // time.Since
+		"bad.go:18:globalrand",    // rand.Intn on the global generator
+		"bad.go:28:maprange",      // unsorted map range
 	}
 	got := fixtureFindings(t)
 	if !reflect.DeepEqual(got, want) {
@@ -58,10 +59,13 @@ func TestFixtureAllowedForms(t *testing.T) {
 	got := fixtureFindings(t)
 	for _, f := range got {
 		for _, banned := range []string{
-			"bad.go:21",                    // rand.New(rand.NewSource(seed))
-			"bad.go:31",                    // suppressed map range
-			"bad.go:34",                    // slice range
+			"bad.go:22",                    // rand.New(rand.NewSource(seed))
+			"bad.go:32",                    // suppressed map range
+			"bad.go:35",                    // slice range
+			"bad.go:46",                    // suppressed key-collection loop
+			"bad.go:56",                    // range over sortedKeys(m): a slice
 			"states.go:27", "states.go:36", // default / full coverage
+			"states.go:54",             // MOESI-style five-state switch, Invalid included
 			"main.go:15", "main.go:17", // wall clock + map range outside scope
 		} {
 			if strings.HasPrefix(f, strings.SplitN(banned, ":", 2)[0]+":"+strings.SplitN(banned, ":", 2)[1]+":") {
@@ -77,7 +81,11 @@ func TestFixtureMessages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var sawMissingTwo bool
 	for _, f := range findings {
+		if strings.Contains(f.Message, "misses Exclusive, Owned") {
+			sawMissingTwo = true // both absent states named, sorted
+		}
 		switch f.Analyzer {
 		case "maprange":
 			if !strings.Contains(f.Message, "simlint:ignore maprange") {
@@ -92,6 +100,9 @@ func TestFixtureMessages(t *testing.T) {
 				t.Errorf("globalrand message lacks the seeded-generator hint: %s", f.Message)
 			}
 		}
+	}
+	if !sawMissingTwo {
+		t.Error("the missingTwo switch finding does not name both absent states")
 	}
 }
 

@@ -27,9 +27,10 @@ type pkg struct {
 	// order and typechecked tolerantly after every base package.
 	inTestFiles []*ast.File
 	extFiles    []*ast.File
-	// ignoreComments maps line number -> analyzer names suppressed
-	// there via //simlint:ignore.
-	ignoreComments map[int][]string
+	// isTest marks the tolerantly-typechecked test variants appended
+	// after the base packages; module-wide analyzers skip them (their
+	// type info may be partial).
+	isTest bool
 
 	determinismScoped bool
 }
@@ -40,46 +41,62 @@ type pkg struct {
 // against the packages loaded here (in dependency order), and standard
 // library imports fall back to the source importer. No go/packages, no
 // build cache, no network.
-func loadModule(dir string) ([]*pkg, *token.FileSet, error) {
+//
+// Files excluded by build constraints — a //go:build (or legacy
+// // +build) line, or a _GOOS/_GOARCH filename suffix — that does not
+// match the host's GOOS/GOARCH plus ExtraBuildTags are skipped, exactly
+// as `go build` would skip them, so platform-specific twin files no
+// longer collide in the typechecker. Files guarded by the tags in
+// ExtraBuildTags (the soak tier) stay in: a nondeterministic soak test
+// is still a flaky test.
+func loadModule(dir string) ([]*pkg, *token.FileSet, *directives, error) {
 	modPath, err := modulePath(filepath.Join(dir, "go.mod"))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	pkgDirs, err := findPackageDirs(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	fset := token.NewFileSet()
+	dirs := newDirectives()
 	parsed := make(map[string]*pkg) // import path -> pkg (files parsed, not yet typechecked)
 	for _, pd := range pkgDirs {
 		rel, err := filepath.Rel(dir, pd)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		ip := modPath
 		if rel != "." {
 			ip = modPath + "/" + filepath.ToSlash(rel)
 		}
-		p := &pkg{importPath: ip, ignoreComments: map[int][]string{}}
+		p := &pkg{importPath: ip}
 		entries, err := os.ReadDir(pd)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		for _, e := range entries {
 			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 				continue
 			}
+			if !filenameIncluded(e.Name()) {
+				continue
+			}
 			f, err := parser.ParseFile(fset, filepath.Join(pd, e.Name()), nil, parser.ParseComments)
 			if err != nil {
-				return nil, nil, fmt.Errorf("lint: parse: %v", err)
+				return nil, nil, nil, fmt.Errorf("lint: parse: %v", err)
+			}
+			if !constraintIncluded(fset, f) {
+				continue
 			}
 			p.files = append(p.files, f)
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
 					if name := parseIgnore(c.Text); name != "" {
-						line := fset.Position(c.Pos()).Line
-						p.ignoreComments[line] = append(p.ignoreComments[line], name)
+						dirs.add(allowDirective{pos: fset.Position(c.Pos()), analyzer: name, legacy: true})
+					} else if analyzer, reason, ok := parseAllow(c.Text); ok {
+						dirs.add(allowDirective{pos: fset.Position(c.Pos()), analyzer: analyzer, reason: reason})
 					}
 				}
 			}
@@ -93,7 +110,7 @@ func loadModule(dir string) ([]*pkg, *token.FileSet, error) {
 	// The dependency order considers non-test files only.
 	order, err := topoOrder(parsed)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	std := importer.ForCompiler(fset, "source", nil)
@@ -109,7 +126,7 @@ func loadModule(dir string) ([]*pkg, *token.FileSet, error) {
 		}
 		tp, info, err := typecheck(ip, p.files, fset, imp, false)
 		if err != nil {
-			return nil, nil, fmt.Errorf("lint: typecheck %s: %v", ip, err)
+			return nil, nil, nil, fmt.Errorf("lint: typecheck %s: %v", ip, err)
 		}
 		p.tpkg = tp
 		p.info = info
@@ -128,23 +145,23 @@ func loadModule(dir string) ([]*pkg, *token.FileSet, error) {
 			files := append(append([]*ast.File{}, p.files...), p.inTestFiles...)
 			_, info, _ := typecheck(ip, files, fset, imp, true)
 			out = append(out, &pkg{
-				importPath:     ip,
-				files:          p.inTestFiles,
-				info:           info,
-				ignoreComments: p.ignoreComments,
+				importPath: ip,
+				files:      p.inTestFiles,
+				info:       info,
+				isTest:     true,
 			})
 		}
 		if len(p.extFiles) > 0 {
 			_, info, _ := typecheck(ip+"_test", p.extFiles, fset, imp, true)
 			out = append(out, &pkg{
-				importPath:     ip,
-				files:          p.extFiles,
-				info:           info,
-				ignoreComments: p.ignoreComments,
+				importPath: ip,
+				files:      p.extFiles,
+				info:       info,
+				isTest:     true,
 			})
 		}
 	}
-	return out, fset, nil
+	return out, fset, dirs, nil
 }
 
 func typecheck(path string, files []*ast.File, fset *token.FileSet, imp types.Importer, tolerant bool) (*types.Package, *types.Info, error) {

@@ -18,6 +18,10 @@ type maprange struct{}
 
 func (maprange) name() string { return "maprange" }
 
+func (maprange) doc() string {
+	return "no map iteration on simulation paths; Go randomizes the order on purpose"
+}
+
 func (m maprange) check(p *pkg, report func(token.Pos, string)) {
 	if !p.determinismScoped {
 		return

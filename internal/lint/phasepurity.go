@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// phasepurity statically proves the compute/commit separation the
+// sharded BSP engine's determinism rests on. The runtime contract
+// (sim.Phased): a compute phase — Tick or Idle of a Phased ticker, or
+// the RecvPhase of a RecvPhase/SendPhase pair — may run concurrently
+// with other shards' compute phases, so it must confine its effects to
+// shard-local state; only the serial commit phase may inject into the
+// network. The -race matrix checks this on the configurations it
+// happens to execute; this analyzer checks *every* static path:
+//
+//   - Starting from each compute-phase entry point, it walks the call
+//     graph (interface calls resolve to every module implementation)
+//     and reports any call to a commit-phase-only function: network
+//     injection or network Tick (marked //lint:commitphase on the
+//     noc.Network interface), the SendPhase of any RecvPhase/SendPhase
+//     pair, or anything else marked //lint:commitphase.
+//   - It reports any write to a package-level variable from
+//     compute-reachable code — process-global state is by definition
+//     not shard-local. (Synchronized counters use sync/atomic method
+//     calls, which are not writes and stay subject to the
+//     atomicdiscipline analyzer instead.)
+//
+// What it cannot see — writes through aliased pointers into another
+// shard's heap, and calls through plain function values — remains the
+// -race matrix's job; the two gates are complementary.
+type phasepurity struct{}
+
+func (phasepurity) name() string { return "phasepurity" }
+
+func (phasepurity) doc() string {
+	return "compute phases (Phased.Tick/Idle, RecvPhase) must not inject into the NoC or write global state"
+}
+
+func (phasepurity) checkModule(m *module) []Finding {
+	var findings []Finding
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, msg string) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		findings = append(findings, Finding{Pos: m.fset.Position(pos), Analyzer: "phasepurity", Message: msg})
+	}
+	for _, root := range m.phaseRoots() {
+		walkComputePhase(m, root, report)
+	}
+	return findings
+}
+
+// walkComputePhase BFS-walks the call graph from one compute-phase
+// root, reporting violations with the path that reaches them.
+func walkComputePhase(m *module, root *funcNode, report func(pos token.Pos, msg string)) {
+	parent := map[*funcNode]*funcNode{root: nil}
+	queue := []*funcNode{root}
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		checkGlobalWrites(m, node, root, parent, report)
+		for _, call := range node.calls {
+			if obj, why := commitOnlyTarget(m, call); obj != nil {
+				report(call.pos, fmt.Sprintf(
+					"compute phase %s calls %s (%s)%s; only the serial commit phase may do this — move it to Commit/SendPhase",
+					funcDisplay(root.obj), funcDisplay(obj), why, viaPath(node, root, parent)))
+				continue
+			}
+			for _, callee := range call.callees {
+				next := m.funcs[callee]
+				if next == nil {
+					continue // stdlib or other out-of-module code
+				}
+				if _, seen := parent[next]; !seen {
+					parent[next] = node
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+}
+
+// commitOnlyTarget reports whether the call site can only be legal in a
+// commit phase: its interface method or any resolved concrete target is
+// marked commit-only.
+func commitOnlyTarget(m *module, call callSite) (*types.Func, string) {
+	if call.iface != nil {
+		if why, ok := m.commitOnly[call.iface]; ok {
+			return call.iface, why
+		}
+	}
+	for _, callee := range call.callees {
+		if why, ok := m.commitOnly[callee]; ok {
+			return callee, why
+		}
+	}
+	return nil, ""
+}
+
+// checkGlobalWrites reports assignments and inc/dec statements whose
+// target resolves to a package-level variable.
+func checkGlobalWrites(m *module, node *funcNode, root *funcNode, parent map[*funcNode]*funcNode, report func(pos token.Pos, msg string)) {
+	if node.decl.Body == nil {
+		return
+	}
+	flag := func(expr ast.Expr) {
+		v := packageLevelTarget(node.pkg, expr)
+		if v == nil {
+			return
+		}
+		report(expr.Pos(), fmt.Sprintf(
+			"compute phase %s writes package-level variable %s%s; globals are not shard-local — keep per-shard state or commit serially",
+			funcDisplay(root.obj), v.Name(), viaPath(node, root, parent)))
+	}
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				flag(lhs)
+			}
+		case *ast.IncDecStmt:
+			flag(st.X)
+		}
+		return true
+	})
+}
+
+// packageLevelTarget resolves the root identifier of a write target
+// (through selectors, indexing and dereferences) and returns it if it
+// is a package-level variable.
+func packageLevelTarget(p *pkg, expr ast.Expr) *types.Var {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			// A qualified reference (pkg.Var) resolves via the Sel; a
+			// field access keeps stripping toward the receiver.
+			if id, ok := e.X.(*ast.Ident); ok {
+				if _, isPkg := p.info.Uses[id].(*types.PkgName); isPkg {
+					expr = e.Sel
+					continue
+				}
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			obj := p.info.Uses[e]
+			if obj == nil {
+				obj = p.info.Defs[e]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok || v.IsField() {
+				return nil
+			}
+			if v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// viaPath renders the call chain from root to node, omitted when the
+// violation sits directly in the root.
+func viaPath(node, root *funcNode, parent map[*funcNode]*funcNode) string {
+	if node == root {
+		return ""
+	}
+	// The chain comes out leaf-first; reverse it for root → leaf order.
+	var chain []string
+	for n := node; n != nil && n != root; n = parent[n] {
+		chain = append(chain, funcDisplay(n.obj))
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return " (via " + strings.Join(chain, " → ") + ")"
+}

@@ -47,3 +47,30 @@ func notLineState(x int) int {
 	}
 	return 0
 }
+
+// fiveState is the MOESI-style full transition switch: every state
+// including Invalid is named, so it must not be flagged.
+func fiveState(s LineState) int {
+	switch s {
+	case Invalid:
+		return 0
+	case Shared:
+		return 1
+	case Owned:
+		return 2
+	case Exclusive:
+		return 3
+	case Modified:
+		return 4
+	}
+	return -1
+}
+
+// missingTwo misses Owned and Exclusive; the finding must name both.
+func missingTwo(s LineState) int {
+	switch s { // want exhaustive: misses Exclusive, Owned
+	case Shared, Modified:
+		return 1
+	}
+	return 0
+}

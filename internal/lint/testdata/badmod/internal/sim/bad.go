@@ -4,6 +4,7 @@ package sim
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 )
 
@@ -33,6 +34,27 @@ func mapIter(m map[int]int) int {
 	}
 	for i, v := range []int{1, 2, 3} { // slices are fine
 		s += i + v
+	}
+	return s
+}
+
+// sortedKeys is the canonical maprange fix: collect (suppressed,
+// order-independent) then sort.
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	//simlint:ignore maprange — keys are collected then sorted
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// sortedIter ranges the sorted slice, not the map: must not be flagged.
+func sortedIter(m map[int]int) int {
+	s := 0
+	for _, k := range sortedKeys(m) {
+		s += m[k]
 	}
 	return s
 }

@@ -1,0 +1,26 @@
+package sim
+
+// This file exercises the //lint:allow suppression directive and its
+// hygiene findings.
+
+var allowed int
+
+type suppressedShard struct{ x int }
+
+func (s *suppressedShard) Tick(cycle uint64) {
+	//lint:allow phasepurity — single-shard calibration mode; the engine never runs this sharded
+	allowed++
+	s.x++
+}
+
+func (s *suppressedShard) Commit(cycle uint64) {}
+
+func reasonless() {
+	//lint:allow maprange
+	_ = allowed
+}
+
+func typoed() {
+	//lint:allow nosuchanalyzer — the analyzer name is wrong on purpose
+	_ = allowed
+}

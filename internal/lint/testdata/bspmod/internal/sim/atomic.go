@@ -1,0 +1,25 @@
+package sim
+
+import "sync/atomic"
+
+// counter is the atomicdiscipline fixture: n is driven through
+// sync/atomic in bump/load, so the plain read in read is a race.
+type counter struct {
+	n    uint64
+	safe atomic.Uint64 // typed atomic: plain access is impossible
+	cold uint64        // never touched atomically: plain access is fine
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.n, 1) // sanctioned
+	c.safe.Add(1)
+	c.cold++
+}
+
+func (c *counter) read() uint64 {
+	return c.n // BAD: plain read of a sync/atomic field
+}
+
+func (c *counter) load() uint64 {
+	return atomic.LoadUint64(&c.n) + c.safe.Load() + c.cold // sanctioned + clean + clean
+}

@@ -1,0 +1,77 @@
+// Package sim is the phasepurity fixture: shard is a Phased ticker
+// (Tick+Commit+Idle), node is a RecvPhase/SendPhase pair, and Net
+// mirrors the noc.Network commit-only injection contract.
+package sim
+
+// Net mirrors noc.Network: injection is commit-phase-only.
+type Net interface {
+	//lint:commitphase
+	Inject(m int)
+	Quiet() bool
+}
+
+// fakeNet is the module's one Net implementation, so interface calls
+// resolve somewhere.
+type fakeNet struct{ q []int }
+
+func (f *fakeNet) Inject(m int) { f.q = append(f.q, m) }
+func (f *fakeNet) Quiet() bool  { return len(f.q) == 0 }
+
+var totalTicks int
+
+type shard struct {
+	net   Net
+	local int
+}
+
+func (s *shard) Tick(cycle uint64) {
+	s.local++       // clean: shard-local state
+	totalTicks++    // BAD: package-level write from a compute phase
+	s.net.Inject(1) // BAD: commit-only interface call from a compute phase
+	s.helper()
+	publish(s.local) // BAD: //lint:commitphase function from a compute phase
+}
+
+func (s *shard) Idle(cycle uint64) {
+	totalTicks++ // BAD: Idle is a compute phase too
+}
+
+func (s *shard) Commit(cycle uint64) {
+	s.net.Inject(s.local) // clean: the commit phase may inject
+	totalTicks = 0        // clean: the commit phase is serial
+}
+
+func (s *shard) helper() {
+	injectAll(s.net)
+}
+
+func injectAll(n Net) {
+	n.Inject(9) // BAD: reached from Tick via helper -> injectAll
+}
+
+//lint:commitphase — republishes shard state into the global schedule
+func publish(v int) {
+	totalTicks = v
+}
+
+type node struct {
+	net Net
+	inq []int
+}
+
+func (n *node) RecvPhase(cycle uint64) {
+	n.inq = n.inq[:0]  // clean: shard-local state
+	n.SendPhase(cycle) // BAD: SendPhase of a Recv/Send pair is commit-only
+}
+
+func (n *node) SendPhase(cycle uint64) {
+	n.net.Inject(2) // clean: SendPhase is the commit half
+}
+
+// cleanShard exercises the negative case: a Phased ticker whose compute
+// phases touch only their own state.
+type cleanShard struct{ acc uint64 }
+
+func (c *cleanShard) Tick(cycle uint64)   { c.acc += cycle }
+func (c *cleanShard) Idle(cycle uint64)   { c.acc++ }
+func (c *cleanShard) Commit(cycle uint64) { c.acc = 0 }

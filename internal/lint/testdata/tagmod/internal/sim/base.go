@@ -1,0 +1,12 @@
+// Package sim is the build-constraint fixture: on_soak.go (included —
+// the soak tag is in lint.ExtraBuildTags) and off_falsetag.go /
+// off_nosoak.go (excluded) declare the SAME symbols, so the module
+// only typechecks if the loader evaluates constraints the way the go
+// tool does. The excluded files also contain findings that must not be
+// reported.
+package sim
+
+// use keeps the constrained symbols referenced.
+func use() int64 { return sample() + tagWord + osWord }
+
+var _ = use

@@ -1,0 +1,9 @@
+//go:build falsetag
+
+package sim
+
+import "time"
+
+const tagWord int64 = 2 // duplicate of on_soak.go: compiles only if this file is excluded
+
+func sample() int64 { return time.Since(time.Unix(0, 0)).Nanoseconds() } // must NOT be reported

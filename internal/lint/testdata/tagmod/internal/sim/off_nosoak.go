@@ -1,0 +1,9 @@
+//go:build !soak
+
+package sim
+
+import "time"
+
+const tagWord int64 = 3 // duplicate again: !soak must evaluate to false
+
+func sample() int64 { return time.Now().Unix() } // must NOT be reported

@@ -1,0 +1,11 @@
+//go:build soak
+
+package sim
+
+import "time"
+
+const tagWord int64 = 1
+
+// sample reads the wall clock: this finding MUST be reported, because
+// the soak tag is enabled for analysis.
+func sample() int64 { return time.Now().UnixNano() }

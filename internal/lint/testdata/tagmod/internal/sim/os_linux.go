@@ -1,0 +1,5 @@
+package sim
+
+// _linux filename suffix: included only when GOOS=linux. os_windows.go
+// declares the same symbol, so exactly one of the pair may be loaded.
+const osWord int64 = 10

@@ -1,0 +1,6 @@
+//go:build !linux && !windows
+
+package sim
+
+// Fallback so the fixture typechecks on any other GOOS.
+const osWord int64 = 30

@@ -1,0 +1,4 @@
+package sim
+
+// _windows filename suffix: included only when GOOS=windows.
+const osWord int64 = 20

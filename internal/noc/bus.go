@@ -110,13 +110,19 @@ func (b *Bus) Tick(now uint64) {
 	}
 }
 
-// Deliverable implements Network.
+// Deliverable implements Network. It runs on every endpoint's
+// compute-phase arrival check: hot path.
+//
+//lint:hot
 func (b *Bus) Deliverable(node int, now uint64) bool {
 	q := b.out[node]
 	return len(q) != 0 && q[0].readyAt <= now
 }
 
-// Deliver implements Network.
+// Deliver implements Network. It runs on every compute-phase message
+// arrival: hot path.
+//
+//lint:hot
 func (b *Bus) Deliver(node int, now uint64) (Packet, bool) {
 	q := b.out[node]
 	if len(q) == 0 || q[0].readyAt > now {

@@ -140,13 +140,19 @@ func (g *GMN) Tick(now uint64) {
 	}
 }
 
-// Deliverable implements Network.
+// Deliverable implements Network. It runs on every endpoint's
+// compute-phase arrival check: hot path.
+//
+//lint:hot
 func (g *GMN) Deliverable(node int, now uint64) bool {
 	d := &g.dst[node]
 	return len(d.queue) != 0 && d.queue[0].readyAt <= now
 }
 
-// Deliver implements Network.
+// Deliver implements Network. It runs on every compute-phase message
+// arrival: hot path.
+//
+//lint:hot
 func (g *GMN) Deliver(node int, now uint64) (Packet, bool) {
 	d := &g.dst[node]
 	if len(d.queue) == 0 || d.queue[0].readyAt > now {

@@ -186,13 +186,19 @@ func (m *Mesh) Tick(now uint64) {
 	}
 }
 
-// Deliverable implements Network.
+// Deliverable implements Network. It runs on every endpoint's
+// compute-phase arrival check: hot path.
+//
+//lint:hot
 func (m *Mesh) Deliverable(node int, now uint64) bool {
 	q := m.out[node]
 	return len(q) != 0 && q[0].readyAt <= now
 }
 
-// Deliver implements Network.
+// Deliver implements Network. It runs on every compute-phase message
+// arrival: hot path.
+//
+//lint:hot
 func (m *Mesh) Deliver(node int, now uint64) (Packet, bool) {
 	q := m.out[node]
 	if len(q) == 0 || q[0].readyAt > now {

@@ -153,6 +153,12 @@ func (e *Engine) Watchdog(fn func(now uint64) error) {
 // parallelism), then the commit phase in registration order, then the
 // Every hooks. For engines registered without shards the compute phase
 // degenerates to the classic single loop in registration order.
+//
+// Step is the per-cycle engine loop, the hot-path root everything else
+// hangs off: allocations anywhere it reaches are gated by simlint's
+// hotalloc analyzer against the committed hotalloc.allow worklist.
+//
+//lint:hot
 func (e *Engine) Step() {
 	if !e.planOK {
 		e.buildPlan()
