@@ -74,13 +74,13 @@ benchjson:
 	$(GO) run ./cmd/bench -o BENCH.json
 
 # benchdiff is the perf regression gate: run the quick bench and diff
-# it against the committed same-host quick baseline (BENCH_PR6.quick
+# it against the committed same-host quick baseline (BENCH_PR8.quick
 # .json). On a different host or Go version the wall-clock gate skips
 # with a notice and the target still passes — only cycle counts are
 # comparable then. The threshold is wider than benchdiff's default
 # because quick-scale runs are short enough for scheduler noise to
 # move single-digit percentages on small hosts.
-BENCH_BASELINE ?= BENCH_PR6.quick.json
+BENCH_BASELINE ?= BENCH_PR8.quick.json
 benchdiff:
 	$(GO) run ./cmd/bench -quick -o BENCH.quick.json
 	$(GO) run ./cmd/benchdiff -max-regress 25 $(BENCH_BASELINE) BENCH.quick.json

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	benchdiff [-max-regress PCT] [-csv] OLD.json NEW.json
+//	benchdiff -trend [-csv] BENCH_PR1.json [BENCH_PR2.json ...]
+//
+// With -trend, benchdiff takes two or more milestones in chronological
+// order and prints the Mcyc/s trajectory of every pinned run across
+// them — the per-PR speedup history — plus a cumulative first-to-last
+// factor per run. The trend is informational: host mismatches are
+// flagged in notes, nothing gates, and the exit status is zero.
 //
 // Wall-clock numbers are only comparable between runs on the same
 // host, so the gate is normalized by the host fields every BENCH file
@@ -29,9 +36,15 @@ import (
 func main() {
 	maxRegress := flag.Float64("max-regress", 10, "fail when a same-host run's Mcyc/s drops by more than this percent")
 	csv := flag.Bool("csv", false, "emit the delta table as CSV instead of aligned text")
+	trend := flag.Bool("trend", false, "print the Mcyc/s trajectory across two or more milestones instead of gating a pair")
 	flag.Parse()
+	if *trend {
+		runTrend(flag.Args(), *csv)
+		return
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress PCT] [-csv] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "       benchdiff -trend [-csv] BENCH_PR1.json [BENCH_PR2.json ...]")
 		os.Exit(2)
 	}
 	if *maxRegress < 0 {
@@ -76,6 +89,31 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "benchdiff: gate ok (%d runs compared, threshold %.1f%%)\n",
 			rep.Compared, *maxRegress)
+	}
+}
+
+// runTrend loads the milestone series and prints the trajectory.
+func runTrend(paths []string, csv bool) {
+	if len(paths) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -trend [-csv] BENCH_PR1.json [BENCH_PR2.json ...] (need at least two milestones)")
+		os.Exit(2)
+	}
+	files := make([]*benchFile, 0, len(paths))
+	for _, p := range paths {
+		f, err := loadBench(p)
+		if err != nil {
+			fatal(err)
+		}
+		files = append(files, f)
+	}
+	rep := trendBench(files)
+	if csv {
+		fmt.Print(rep.Table.CSV())
+	} else {
+		fmt.Println(rep.Table.Render())
+	}
+	for _, n := range rep.Notes {
+		fmt.Fprintln(os.Stderr, "benchdiff: note:", n)
 	}
 }
 

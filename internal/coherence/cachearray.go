@@ -61,6 +61,14 @@ type cacheArray struct {
 	setMask    uint32
 	tagShift   uint32
 
+	// Magic-multiply form of the division by numSets for non-pow2 set
+	// counts (the geometry ablation), valid whenever blockBytes is a
+	// power of two: q = (x*magicM)>>magicP computes x/numSets exactly
+	// for every 30-bit x (see newCacheArray for the error bound).
+	magicOK bool
+	magicM  uint64
+	magicP  uint32
+
 	state []LineState
 	tag   []uint32
 	lru   []uint64 // last-touch stamp per line
@@ -82,11 +90,26 @@ func newCacheArray(cacheBytes, blockBytes, ways int) *cacheArray {
 		lru:        make([]uint64, lines),
 		data:       make([]byte, lines*blockBytes),
 	}
-	if isPow2(blockBytes) && isPow2(c.numSets) {
-		c.pow2 = true
+	if isPow2(blockBytes) {
 		c.blockShift = uint32(bits.TrailingZeros32(uint32(blockBytes)))
-		c.setMask = uint32(c.numSets - 1)
-		c.tagShift = c.blockShift + uint32(bits.TrailingZeros32(uint32(c.numSets)))
+		if isPow2(c.numSets) {
+			c.pow2 = true
+			c.setMask = uint32(c.numSets - 1)
+			c.tagShift = c.blockShift + uint32(bits.TrailingZeros32(uint32(c.numSets)))
+		} else if c.blockShift >= 2 {
+			// Round-up magic number for division by d := numSets: with
+			// p = 32+L, L = ceil(log2 d), m = ceil(2^p/d), the error
+			// e := m*d - 2^p satisfies 0 <= e < d <= 2^L, so for
+			// x < 2^30 the term x*e < 2^(30+L) stays below d*2^p times
+			// the worst fractional gap 1/d — hence floor((x*m)>>p) is
+			// exactly x/d. blockShift >= 2 keeps x = addr>>blockShift
+			// under 2^30, and the product under 2^63.
+			d := uint64(c.numSets)
+			L := uint32(bits.Len64(d - 1))
+			c.magicP = 32 + L
+			c.magicM = ((uint64(1) << c.magicP) + d - 1) / d
+			c.magicOK = true
+		}
 	}
 	return c
 }
@@ -98,6 +121,11 @@ func (c *cacheArray) setOf(addr uint32) int {
 	if c.pow2 {
 		return int((addr >> c.blockShift) & c.setMask)
 	}
+	if c.magicOK {
+		x := addr >> c.blockShift
+		q := uint32((uint64(x) * c.magicM) >> c.magicP)
+		return int(x - q*uint32(c.numSets))
+	}
 	return int(addr/uint32(c.blockBytes)) % c.numSets
 }
 
@@ -105,6 +133,10 @@ func (c *cacheArray) setOf(addr uint32) int {
 func (c *cacheArray) tagOf(addr uint32) uint32 {
 	if c.pow2 {
 		return addr >> c.tagShift
+	}
+	if c.magicOK {
+		x := addr >> c.blockShift
+		return uint32((uint64(x) * c.magicM) >> c.magicP)
 	}
 	return addr / uint32(c.blockBytes) / uint32(c.numSets)
 }

@@ -25,6 +25,39 @@ func TestCacheArrayAddressDecomposition(t *testing.T) {
 	}
 }
 
+func TestCacheArrayMagicDivisionMatchesPlain(t *testing.T) {
+	// Non-pow2 set counts (the geometry ablation) take the
+	// magic-multiply path; it must agree with plain division for every
+	// address. 96 sets * 32B blocks * 3 ways and a handful of other
+	// non-pow2 geometries.
+	for _, g := range []struct{ cacheBytes, blockBytes, ways int }{
+		{96 * 32, 32, 1},
+		{96 * 32 * 3, 32, 3},
+		{768 * 64, 64, 1},
+		{5 * 16, 16, 1},
+		{7 * 128 * 2, 128, 2},
+	} {
+		c := newCacheArray(g.cacheBytes, g.blockBytes, g.ways)
+		if !c.magicOK || c.pow2 {
+			t.Fatalf("geometry %+v: expected magic path (magicOK=%t pow2=%t)", g, c.magicOK, c.pow2)
+		}
+		f := func(addr uint32) bool {
+			wantSet := int(addr/uint32(c.blockBytes)) % c.numSets
+			wantTag := addr / uint32(c.blockBytes) / uint32(c.numSets)
+			return c.setOf(addr) == wantSet && c.tagOf(addr) == wantTag
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+			t.Fatalf("geometry %+v: %v", g, err)
+		}
+		// Edge addresses the generator rarely hits.
+		for _, addr := range []uint32{0, 1, ^uint32(0), ^uint32(0) - 1, 1 << 31, (1 << 31) - 1} {
+			if !f(addr) {
+				t.Fatalf("geometry %+v: mismatch at addr %#x", g, addr)
+			}
+		}
+	}
+}
+
 func TestCacheArrayLookupAndConflict(t *testing.T) {
 	c := newCacheArray(4096, 32, 1)
 	blk := uint32(0x10000)

@@ -63,7 +63,10 @@ func (c *ICache) tryIssue(now uint64) {
 	if !c.pendActive || c.pendIssued || !c.node.CanSendReq() {
 		return
 	}
-	m := &Msg{Kind: ReqIFetch, Src: c.id, Addr: c.pendAddr}
+	m := c.node.NewMsg()
+	m.Kind = ReqIFetch
+	m.Src = c.id
+	m.Addr = c.pendAddr
 	if c.node.TrySendReq(m, c.bankBase+c.amap.BankOf(c.pendAddr), now) {
 		c.pendIssued = true
 	}
@@ -71,6 +74,16 @@ func (c *ICache) tryIssue(now uint64) {
 
 // Tick retries an unsent refill request.
 func (c *ICache) Tick(now uint64) { c.tryIssue(now) }
+
+// TickIdle reports whether Tick is a strict no-op until protocol state
+// changes: an unissued refill retries (and charges send-stall counters)
+// every cycle. Pure; the system-level leaper consults it.
+func (c *ICache) TickIdle(uint64) bool { return !c.pendActive || c.pendIssued }
+
+// SkipFetchHits account-compensates k leaped cycles of a data-stalled
+// CPU: each stalled retry re-fetches the current instruction, which
+// hits and counts.
+func (c *ICache) SkipFetchHits(k uint64) { c.Fetches += k }
 
 // HandleMsg processes the refill response.
 func (c *ICache) HandleMsg(m *Msg, now uint64) {

@@ -98,7 +98,7 @@ type DirEntryInfo struct {
 	FetchFwd, FetchHadData,
 	RetainOwner, C2CDone bool
 	OldWord  uint32
-	Deferred []*Msg
+	Deferred []Msg
 }
 
 // DirEntries returns every directory entry holding any state, sorted by
@@ -113,7 +113,7 @@ func (mc *MemCtrl) DirEntries() []DirEntryInfo {
 	for _, blk := range blks {
 		e := mc.dir[blk]
 		reqSrc := -1
-		if e.req != nil {
+		if e.busy {
 			reqSrc = e.req.Src
 		}
 		out = append(out, DirEntryInfo{

@@ -36,10 +36,15 @@ type dirEntry struct {
 	// would, having lost precise sharer knowledge.
 	bcast bool
 
-	busy        bool
-	kind        MsgKind // transaction being completed
-	req         *Msg    // original request awaiting completion
-	fetchTarget int16   // owner a Cmd{Fetch,FetchInval} was sent to
+	busy bool
+	kind MsgKind // transaction being completed
+	// req is a value copy of the original request awaiting completion:
+	// the delivered *Msg is recycled into the node's pool the moment
+	// HandleMsg returns, so the directory may never retain the pointer.
+	// Every deferrable/completable kind is data-free, and the copy's
+	// Data slice is nilled to keep the pooled buffer unreferenced.
+	req         Msg
+	fetchTarget int16 // owner a Cmd{Fetch,FetchInval} was sent to
 	waitAcks    int
 	oldWord     uint32 // WTI swap: value to return
 	// Fetch/forwarding bookkeeping: a transaction with a pending fetch
@@ -52,7 +57,10 @@ type dirEntry struct {
 	fetchHadData bool
 	retainOwner  bool
 	c2cDone      bool
-	deferred     []*Msg
+	// deferred queues requests behind a busy block, as value copies for
+	// the same pool-ownership reason as req (the queued kinds —
+	// ReqRead/ReadExcl/Upgrade/WriteThrough/Swap — never carry Data).
+	deferred []Msg
 
 	// span is the open observability span of the busy transaction.
 	span obs.SpanID
@@ -88,6 +96,11 @@ type MemCtrl struct {
 	// Open-page row buffer state (Params.RowBytes > 0).
 	rowOpen bool
 	openRow uint32
+
+	// replay is the scratch slot deferred requests are popped into when
+	// a transaction closes: a persistent field, not a loop local, so the
+	// replayed message never escapes to the heap per replay.
+	replay Msg
 
 	// Fault seeds protocol mutations for verification self-tests; the
 	// zero value (production) injects nothing. See FaultPlan.
@@ -145,10 +158,19 @@ func (mc *MemCtrl) accessLatency(addr uint32) uint64 {
 	return 3 * uint64(mc.p.MemLatency)
 }
 
-func (mc *MemCtrl) blockCopy(blk uint32) []byte {
-	d := make([]byte, mc.p.BlockBytes)
-	mc.space.ReadBlock(blk, d)
-	return d
+// readBlockInto fills m's (reused) data buffer with the block at blk.
+func (mc *MemCtrl) readBlockInto(m *Msg, blk uint32) {
+	m.ensureData(mc.p.BlockBytes)
+	mc.space.ReadBlock(blk, m.Data)
+}
+
+// newCtrl draws a pooled message and stamps the bank as its source.
+func (mc *MemCtrl) newCtrl(kind MsgKind, addr uint32) *Msg {
+	m := mc.node.NewMsg()
+	m.Kind = kind
+	m.Src = mc.nodeID
+	m.Addr = addr
+	return m
 }
 
 func serviceCost(k MsgKind, memService int) int {
@@ -172,8 +194,9 @@ func (mc *MemCtrl) process(m *Msg, now uint64) {
 	switch m.Kind {
 	case ReqIFetch:
 		mc.st.IFetches++
-		mc.node.SendCtrl(&Msg{Kind: RspIData, Src: mc.nodeID, Addr: m.Addr, Data: mc.blockCopy(m.Addr)},
-			m.Src, now+mc.accessLatency(m.Addr))
+		rsp := mc.newCtrl(RspIData, m.Addr)
+		mc.readBlockInto(rsp, m.Addr)
+		mc.node.SendCtrl(rsp, m.Src, now+mc.accessLatency(m.Addr))
 		return
 	case ReqWriteBack:
 		// Never deferred: writebacks unblock pending transactions.
@@ -183,7 +206,7 @@ func (mc *MemCtrl) process(m *Msg, now uint64) {
 		if e.owner == int16(m.Src) {
 			e.owner = -1
 		}
-		mc.node.SendCtrl(&Msg{Kind: RspWriteAck, Src: mc.nodeID, Addr: m.Addr}, m.Src, now+1)
+		mc.node.SendCtrl(mc.newCtrl(RspWriteAck, m.Addr), m.Src, now+1)
 		return
 	case RspInvAck:
 		mc.handleInvAck(m, now)
@@ -201,7 +224,8 @@ func (mc *MemCtrl) process(m *Msg, now uint64) {
 	if e.busy {
 		mc.st.Deferred++
 		mc.queuedReqs++
-		e.deferred = append(e.deferred, m)
+		e.deferred = append(e.deferred, *m)
+		e.deferred[len(e.deferred)-1].Data = nil
 		return
 	}
 	switch m.Kind {
@@ -241,9 +265,10 @@ func (mc *MemCtrl) QueuedRequests() int { return mc.queuedReqs }
 
 // respondData sends a block data response granting excl or shared.
 func (mc *MemCtrl) respondData(blk uint32, dst int, excl bool, now uint64) {
-	mc.node.SendCtrl(&Msg{
-		Kind: RspData, Src: mc.nodeID, Addr: blk, Data: mc.blockCopy(blk), Excl: excl,
-	}, dst, now+mc.accessLatency(blk))
+	rsp := mc.newCtrl(RspData, blk)
+	rsp.Excl = excl
+	mc.readBlockInto(rsp, blk)
+	mc.node.SendCtrl(rsp, dst, now+mc.accessLatency(blk))
 }
 
 // noteSharer records a new sharer and, under a limited-pointer
@@ -287,7 +312,7 @@ func (mc *MemCtrl) sendInvals(blk uint32, mask uint64, now uint64) int {
 			if mc.Fault.faultDropInval() {
 				continue // seeded mutation: stale copy survives
 			}
-			mc.node.SendCtrl(&Msg{Kind: CmdInval, Src: mc.nodeID, Addr: blk}, cpu, now)
+			mc.node.SendCtrl(mc.newCtrl(CmdInval, blk), cpu, now)
 			mc.st.InvalsSent++
 			n++
 		}
@@ -305,14 +330,15 @@ func (mc *MemCtrl) handleRead(e *dirEntry, m *Msg, now uint64) {
 			// paper's 4-hop read (3 hops with cache-to-cache forwarding).
 			e.busy = true
 			e.kind = ReqRead
-			e.req = m
+			e.req = *m
+			e.req.Data = nil
 			e.fetchTarget = e.owner
 			e.fetchPending = true
 			mc.st.FetchesSent++
-			mc.node.SendCtrl(&Msg{
-				Kind: CmdFetch, Src: mc.nodeID, Addr: blk,
-				HasFwd: mc.p.CacheToCache, Fwd: m.Src,
-			}, int(e.owner), now)
+			cmd := mc.newCtrl(CmdFetch, blk)
+			cmd.HasFwd = mc.p.CacheToCache
+			cmd.Fwd = m.Src
+			mc.node.SendCtrl(cmd, int(e.owner), now)
 			return
 		case e.owner == int16(m.Src):
 			// The owner itself re-reads after a silent clean eviction.
@@ -340,14 +366,15 @@ func (mc *MemCtrl) handleReadExcl(e *dirEntry, m *Msg, now uint64) {
 	case e.owner >= 0 && int(e.owner) != m.Src:
 		e.busy = true
 		e.kind = ReqReadExcl
-		e.req = m
+		e.req = *m
+		e.req.Data = nil
 		e.fetchTarget = e.owner
 		e.fetchPending = true
 		mc.st.FetchesSent++
-		mc.node.SendCtrl(&Msg{
-			Kind: CmdFetchInval, Src: mc.nodeID, Addr: blk,
-			HasFwd: mc.p.CacheToCache, Fwd: m.Src,
-		}, int(e.owner), now)
+		cmd := mc.newCtrl(CmdFetchInval, blk)
+		cmd.HasFwd = mc.p.CacheToCache
+		cmd.Fwd = m.Src
+		mc.node.SendCtrl(cmd, int(e.owner), now)
 		// MOESI: an Owned block may also have Shared copies; they are
 		// invalidated in the same transaction.
 		if others := mc.invalTargets(e, m.Src) &^ (1 << uint(e.owner)); others != 0 {
@@ -367,7 +394,8 @@ func (mc *MemCtrl) handleReadExcl(e *dirEntry, m *Msg, now uint64) {
 	if others != 0 {
 		e.busy = true
 		e.kind = ReqReadExcl
-		e.req = m
+		e.req = *m
+		e.req.Data = nil
 		e.waitAcks = mc.sendInvals(blk, others, now)
 		return
 	}
@@ -387,11 +415,12 @@ func (mc *MemCtrl) handleUpgrade(e *dirEntry, m *Msg, now uint64) {
 		if others != 0 {
 			e.busy = true
 			e.kind = ReqUpgrade
-			e.req = m
+			e.req = *m
+			e.req.Data = nil
 			e.waitAcks = mc.sendInvals(blk, others, now)
 			return
 		}
-		mc.node.SendCtrl(&Msg{Kind: RspUpgradeAck, Src: mc.nodeID, Addr: blk}, m.Src, now+1)
+		mc.node.SendCtrl(mc.newCtrl(RspUpgradeAck, blk), m.Src, now+1)
 		return
 	}
 	if e.owner < 0 && e.sharers&(1<<m.Src) != 0 {
@@ -402,12 +431,13 @@ func (mc *MemCtrl) handleUpgrade(e *dirEntry, m *Msg, now uint64) {
 		if others != 0 {
 			e.busy = true
 			e.kind = ReqUpgrade
-			e.req = m
+			e.req = *m
+			e.req.Data = nil
 			e.waitAcks = mc.sendInvals(blk, others, now)
 			return
 		}
 		e.owner = int16(m.Src)
-		mc.node.SendCtrl(&Msg{Kind: RspUpgradeAck, Src: mc.nodeID, Addr: blk}, m.Src, now+1)
+		mc.node.SendCtrl(mc.newCtrl(RspUpgradeAck, blk), m.Src, now+1)
 		return
 	}
 	// The requester lost its copy to an earlier-serialized writer; the
@@ -435,32 +465,35 @@ func (mc *MemCtrl) handleWriteThrough(e *dirEntry, m *Msg, now uint64) {
 	}
 	if targets == 0 {
 		// The paper's 2-hop write.
-		mc.node.SendCtrl(&Msg{Kind: RspWriteAck, Src: mc.nodeID, Addr: m.Addr}, m.Src, now+1)
+		mc.node.SendCtrl(mc.newCtrl(RspWriteAck, m.Addr), m.Src, now+1)
 		return
 	}
 	// The 4-hop write: invalidate (WTI) or update (WTU) the copies,
 	// acknowledging the writer once their acks are in.
 	e.busy = true
 	e.kind = ReqWriteThrough
-	e.req = m
+	e.req = *m
+	e.req.Data = nil
 	if mc.proto == WTU {
-		e.waitAcks = mc.sendUpdates(blk, targets, m, now)
+		e.waitAcks = mc.sendUpdates(targets, m.Addr, m.Word, m.ByteEn, now)
 	} else {
 		e.waitAcks = mc.sendInvals(blk, targets, now)
 	}
 }
 
-// sendUpdates issues CmdUpdate carrying the written word to every
-// cache in the mask and returns the count.
-func (mc *MemCtrl) sendUpdates(blk uint32, mask uint64, w *Msg, now uint64) int {
+// sendUpdates issues CmdUpdate carrying the written word (addr, word,
+// byteEn — scalars, so no template message is built) to every cache in
+// the mask and returns the count.
+func (mc *MemCtrl) sendUpdates(mask uint64, addr, word uint32, byteEn uint8, now uint64) int {
 	n := 0
 	for cpu := 0; mask != 0; cpu++ {
 		bit := uint64(1) << cpu
 		if mask&bit != 0 {
 			mask &^= bit
-			mc.node.SendCtrl(&Msg{
-				Kind: CmdUpdate, Src: mc.nodeID, Addr: w.Addr, Word: w.Word, ByteEn: w.ByteEn,
-			}, cpu, now)
+			upd := mc.newCtrl(CmdUpdate, addr)
+			upd.Word = word
+			upd.ByteEn = byteEn
+			mc.node.SendCtrl(upd, cpu, now)
 			mc.st.UpdatesSent++
 			n++
 		}
@@ -482,16 +515,18 @@ func (mc *MemCtrl) handleSwap(e *dirEntry, m *Msg, now uint64) {
 		e.bcast = false
 	}
 	if others == 0 {
-		mc.node.SendCtrl(&Msg{Kind: RspSwap, Src: mc.nodeID, Addr: m.Addr, Word: old},
-			m.Src, now+swapLat)
+		rsp := mc.newCtrl(RspSwap, m.Addr)
+		rsp.Word = old
+		mc.node.SendCtrl(rsp, m.Src, now+swapLat)
 		return
 	}
 	e.busy = true
 	e.kind = ReqSwap
-	e.req = m
+	e.req = *m
+	e.req.Data = nil
 	e.oldWord = old
 	if mc.proto == WTU {
-		e.waitAcks = mc.sendUpdates(blk, others, &Msg{Addr: m.Addr, Word: m.Word, ByteEn: 0xf}, now)
+		e.waitAcks = mc.sendUpdates(others, m.Addr, m.Word, 0xf, now)
 	} else {
 		e.waitAcks = mc.sendInvals(blk, others, now)
 	}
@@ -550,12 +585,14 @@ func (mc *MemCtrl) maybeComplete(e *dirEntry, blk uint32, now uint64) {
 	if e.waitAcks > 0 || !e.fetchDone() {
 		return
 	}
-	req := e.req
+	req := &e.req
 	switch e.kind {
 	case ReqWriteThrough:
-		mc.node.SendCtrl(&Msg{Kind: RspWriteAck, Src: mc.nodeID, Addr: req.Addr}, req.Src, now+1)
+		mc.node.SendCtrl(mc.newCtrl(RspWriteAck, req.Addr), req.Src, now+1)
 	case ReqSwap:
-		mc.node.SendCtrl(&Msg{Kind: RspSwap, Src: mc.nodeID, Addr: req.Addr, Word: e.oldWord}, req.Src, now+1)
+		rsp := mc.newCtrl(RspSwap, req.Addr)
+		rsp.Word = e.oldWord
+		mc.node.SendCtrl(rsp, req.Src, now+1)
 	case ReqRead:
 		if e.retainOwner {
 			// MOESI: the previous owner keeps the block Owned (dirty,
@@ -595,7 +632,7 @@ func (mc *MemCtrl) maybeComplete(e *dirEntry, blk uint32, now uint64) {
 		e.owner = int16(req.Src)
 		e.sharers = 0
 		e.bcast = false
-		mc.node.SendCtrl(&Msg{Kind: RspUpgradeAck, Src: mc.nodeID, Addr: blk}, req.Src, now+1)
+		mc.node.SendCtrl(mc.newCtrl(RspUpgradeAck, blk), req.Src, now+1)
 	default:
 		panic(fmt.Sprintf("coherence: bank %d: completion of unexpected %v transaction", mc.bank, e.kind))
 	}
@@ -611,7 +648,7 @@ func (mc *MemCtrl) finish(e *dirEntry, now uint64) {
 		e.span = 0
 	}
 	e.busy = false
-	e.req = nil
+	e.req = Msg{}
 	e.kind = MsgInvalid
 	e.fetchTarget = -1
 	e.fetchPending = false
@@ -621,11 +658,11 @@ func (mc *MemCtrl) finish(e *dirEntry, now uint64) {
 	e.retainOwner = false
 	e.c2cDone = false
 	for !e.busy && len(e.deferred) > 0 {
-		m := e.deferred[0]
+		mc.replay = e.deferred[0]
 		copy(e.deferred, e.deferred[1:])
 		e.deferred = e.deferred[:len(e.deferred)-1]
 		mc.queuedReqs--
-		mc.process(m, now)
+		mc.process(&mc.replay, now)
 	}
 }
 

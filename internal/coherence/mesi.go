@@ -54,7 +54,6 @@ type mesiPending struct {
 type mesiEvict struct {
 	active bool
 	addr   uint32
-	data   []byte
 	begin  uint64 // cycle the victim entered the buffer
 }
 
@@ -111,15 +110,19 @@ func (c *MESICache) startMiss(now uint64, kind MsgKind, blk uint32) bool {
 			return false // eviction buffer busy: stall
 		}
 		victim := c.arr.blockAddr(line)
-		data := make([]byte, c.p.BlockBytes)
-		copy(data, c.arr.lineData(line))
-		c.evict = mesiEvict{active: true, addr: victim, data: data, begin: now}
+		wb := c.node.NewMsg()
+		wb.Kind = ReqWriteBack
+		wb.Src = c.id
+		wb.Addr = victim
+		wb.ensureData(c.p.BlockBytes)
+		copy(wb.Data, c.arr.lineData(line))
+		c.evict = mesiEvict{active: true, addr: victim, begin: now}
 		c.arr.state[line] = Invalid
 		c.st.Writebacks++
 		// Writebacks are control-class: they must keep their place in
 		// the node's FIFO ahead of any later no-data fetch response.
-		c.node.SendCtrl(&Msg{Kind: ReqWriteBack, Src: c.id, Addr: victim, Data: data},
-			c.bankNode(victim), now)
+		// The message owns its data copy exclusively (pool contract).
+		c.node.SendCtrl(wb, c.bankNode(victim), now)
 	}
 	c.pend = mesiPending{active: true, kind: kind, blk: blk, begin: now}
 	c.tryIssue(now)
@@ -152,7 +155,10 @@ func (c *MESICache) tryIssue(now uint64) {
 	if !c.pend.active || c.pend.issued || !c.node.CanSendReq() {
 		return
 	}
-	m := &Msg{Kind: c.pend.kind, Src: c.id, Addr: c.pend.blk}
+	m := c.node.NewMsg()
+	m.Kind = c.pend.kind
+	m.Src = c.id
+	m.Addr = c.pend.blk
 	if c.node.TrySendReq(m, c.bankNode(c.pend.blk), now) {
 		c.pend.issued = true
 	}
@@ -283,6 +289,13 @@ func (c *MESICache) Swap(now uint64, addr uint32, newWord uint32) (uint32, bool)
 // Tick implements DataCache.
 func (c *MESICache) Tick(now uint64) { c.tryIssue(now) }
 
+// TickIdle reports whether Tick is a strict no-op until protocol state
+// changes: an unissued pending request retries (and charges send-stall
+// counters) every cycle; an active eviction is passive — its writeback
+// already sits in the node's outbound queue. Pure; the system-level
+// leaper consults it.
+func (c *MESICache) TickIdle(uint64) bool { return !c.pend.active || c.pend.issued }
+
 // completeWrite applies the deferred store/swap to the (now exclusive)
 // line and marks the transaction done.
 func (c *MESICache) completeWrite(set int) {
@@ -305,8 +318,11 @@ func (c *MESICache) HandleMsg(m *Msg, now uint64) {
 			// Cache-to-cache delivery: tell the directory the transfer
 			// landed so it can close the transaction (a racing
 			// invalidation must not overtake this data).
-			c.node.SendCtrl(&Msg{Kind: RspC2CDone, Src: c.id, Addr: m.Addr},
-				c.bankNode(m.Addr), now)
+			done := c.node.NewMsg()
+			done.Kind = RspC2CDone
+			done.Src = c.id
+			done.Addr = m.Addr
+			c.node.SendCtrl(done, c.bankNode(m.Addr), now)
 		}
 		st := Shared
 		if m.Excl {
@@ -349,13 +365,18 @@ func (c *MESICache) HandleMsg(m *Msg, now uint64) {
 		if c.arr.invalidate(m.Addr) {
 			c.st.CopiesDropped++
 		}
-		c.node.SendCtrl(&Msg{Kind: RspInvAck, Src: c.id, Addr: m.Addr}, c.bankNode(m.Addr), now)
+		ack := c.node.NewMsg()
+		ack.Kind = RspInvAck
+		ack.Src = c.id
+		ack.Addr = m.Addr
+		c.node.SendCtrl(ack, c.bankNode(m.Addr), now)
 	case CmdFetch, CmdFetchInval:
 		c.st.FetchesServed++
-		rsp := &Msg{Kind: RspFetch, Src: c.id, Addr: m.Addr}
+		rsp := c.node.NewMsg()
+		rsp.Kind = RspFetch
+		rsp.Src = c.id
+		rsp.Addr = m.Addr
 		if set, hit := c.arr.lookup(m.Addr); hit && c.arr.state[set] >= Owned {
-			data := make([]byte, c.p.BlockBytes)
-			copy(data, c.arr.lineData(set))
 			// MOESI: a dirty block fetched for reading stays here in
 			// Owned state; memory is not refreshed and this cache keeps
 			// supplying the data.
@@ -365,20 +386,28 @@ func (c *MESICache) HandleMsg(m *Msg, now uint64) {
 				// requester. For an exclusive transfer (and for an
 				// Owned retention) the memory copy is skipped; a MESI
 				// shared downgrade must still refresh memory so all
-				// clean copies agree with it.
+				// clean copies agree with it. Each message carries its
+				// own copy of the line (pool contract: no sharing).
 				c.st.C2CTransfers++
-				c.node.SendCtrl(&Msg{
-					Kind: RspData, Src: c.id, Addr: m.Addr, Data: data,
-					Excl: m.Kind == CmdFetchInval, Forwarded: true,
-				}, m.Fwd, now)
+				fwd := c.node.NewMsg()
+				fwd.Kind = RspData
+				fwd.Src = c.id
+				fwd.Addr = m.Addr
+				fwd.Excl = m.Kind == CmdFetchInval
+				fwd.Forwarded = true
+				fwd.ensureData(c.p.BlockBytes)
+				copy(fwd.Data, c.arr.lineData(set))
+				c.node.SendCtrl(fwd, m.Fwd, now)
 				rsp.Forwarded = true
 				if m.Kind == CmdFetch && !retain {
-					rsp.Data = data
+					rsp.ensureData(c.p.BlockBytes)
+					copy(rsp.Data, c.arr.lineData(set))
 				} else {
 					rsp.NoData = true
 				}
 			} else {
-				rsp.Data = data
+				rsp.ensureData(c.p.BlockBytes)
+				copy(rsp.Data, c.arr.lineData(set))
 			}
 			rsp.RetainOwner = retain
 			switch {

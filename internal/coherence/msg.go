@@ -121,6 +121,17 @@ func (m *Msg) WireBytes() int {
 	return n
 }
 
+// ensureData sizes m.Data to n bytes, reusing the buffer a pooled
+// message kept through recycling and growing it only on first use (or
+// on a block-size change, which no configuration does mid-run).
+func (m *Msg) ensureData(n int) {
+	if cap(m.Data) < n {
+		m.Data = make([]byte, n)
+		return
+	}
+	m.Data = m.Data[:n]
+}
+
 func (m *Msg) String() string {
 	return fmt.Sprintf("%s src=%d addr=%#x", m.Kind, m.Src, m.Addr)
 }

@@ -1,0 +1,47 @@
+package coherence
+
+// msgPool is a per-node free list of protocol messages. Every message a
+// node sends is drawn from its own pool (Node.NewMsg) and recycled by
+// the *receiving* node once its sink has consumed it (Node.RecvPhase).
+// The ownership hand-off is strict and one-way:
+//
+//	sender pool → outbound port → NoC → receiver sink → receiver pool
+//
+// A message in flight is owned by the network and never written; after
+// HandleMsg returns, the receiver owns it exclusively and may recycle
+// it. Handlers therefore must not retain the pointer (they copy what
+// they need — see memctrl.go's value-typed directory state), and
+// observers fire before the recycle point (Node.Trace on "rx",
+// core.TraceMessages) so they may key on the pointer but not keep it.
+//
+// Pools are per node, and all get/put calls happen in that node's own
+// tick phases, so the free list needs no synchronization under the
+// sharded BSP schedule: RecvPhase recycles into the receiver's pool
+// during its compute phase, and sends draw from the sender's pool in
+// protocol handlers (compute phase) or its serial commit slot.
+type msgPool struct {
+	free []*Msg
+}
+
+// get returns a zeroed message, reusing a recycled one when available.
+// The &Msg{} literal here is the single allocation site the pool leaves
+// on the send path: it runs only while the pool grows toward the
+// steady-state working set, after which every send is a reuse.
+func (p *msgPool) get() *Msg {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return m
+	}
+	return &Msg{}
+}
+
+// put recycles m. The data buffer's backing array survives the reset so
+// a block-carrying reuse skips the make as well as the Msg allocation.
+func (p *msgPool) put(m *Msg) {
+	d := m.Data[:0]
+	*m = Msg{}
+	m.Data = d
+	p.free = append(p.free, m)
+}

@@ -37,6 +37,14 @@ type Node struct {
 	net  noc.Network
 	sink Sink
 	outQ *sim.Port[outMsg]
+	pool msgPool
+
+	// recvVeto is the first cycle after the most recent consumed
+	// delivery. That cycle must execute (the CPU ticks before RecvPhase
+	// sees a fill, so its reaction to the delivery happens one cycle
+	// later) — NextWake refuses to leap over it. Monotonic; stale values
+	// below the current cycle are inert.
+	recvVeto uint64
 
 	// ReqBound is the admission bound for request-class messages.
 	ReqBound int
@@ -90,6 +98,15 @@ func NewNode(id int, net noc.Network, sink Sink) *Node {
 // RetryErr reports the latched liveness failure (nil while the port is
 // within budget); the engine watchdog polls it each cycle.
 func (n *Node) RetryErr() error { return n.retryErr }
+
+// NewMsg returns a zeroed message owned by the caller, drawn from the
+// node's free list. The caller fills it and hands ownership to the
+// outbound port via SendCtrl/TrySendReq; it is recycled by the
+// receiving node after consumption. It runs on every protocol send:
+// hot path.
+//
+//lint:hot
+func (n *Node) NewMsg() *Msg { return n.pool.get() }
 
 // SendCtrl enqueues a control-class message (always admitted) for dst,
 // not injectable before cycle notBefore.
@@ -161,6 +178,47 @@ func (n *Node) RecvPhase(now uint64) {
 			n.Trace(now, "rx", n.ID, m.Src, msg)
 		}
 		n.sink.HandleMsg(msg, now)
+		// HandleMsg never retains the pointer (the pool's ownership
+		// contract), so the message recycles into this node's free list.
+		// The consumption also pins the next cycle live: whatever the
+		// handler unblocked acts then, not now.
+		n.pool.put(msg)
+		n.recvVeto = now + 1
+	}
+}
+
+// NextWake reports the earliest cycle at or after cur at which this
+// node can act (sim.Leaper protocol, consulted by the system-level
+// leaper). cur is the next cycle to execute. A queued send that is
+// ready — or only backing off — wakes at its injection attempt; a
+// just-consumed delivery pins cur itself. Must be pure: Peek has side
+// ordering effects, so the port's NextAt is used instead.
+func (n *Node) NextWake(cur uint64) uint64 {
+	if n.recvVeto >= cur {
+		return cur
+	}
+	at, ok := n.outQ.NextAt()
+	if !ok {
+		return ^uint64(0)
+	}
+	if at > cur {
+		return at
+	}
+	if n.attempts > 0 && n.nextTry > cur {
+		return n.nextTry
+	}
+	// Head is ready to offer: the injection attempt itself is an event
+	// (a refused Inject charges the network's stall counter every
+	// cycle), so the node vetoes leaping.
+	return cur
+}
+
+// LeapSkip account-compensates a leap over cycles [cur, target): the
+// only per-cycle counter a provably-dead node cycle advances is the
+// backoff wait of a ready head held by the retry FSM.
+func (n *Node) LeapSkip(cur, target uint64) {
+	if at, ok := n.outQ.NextAt(); ok && at <= cur && n.attempts > 0 && n.nextTry > cur {
+		n.BackoffCycles += target - cur
 	}
 }
 

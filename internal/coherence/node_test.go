@@ -7,14 +7,16 @@ import (
 	"repro/internal/noc"
 )
 
-// recordSink collects delivered messages.
+// recordSink collects delivered messages. It copies them: the node
+// recycles the delivered *Msg into its pool after HandleMsg returns,
+// so retaining the pointer would observe the recycled reuse.
 type recordSink struct {
 	accept bool
-	msgs   []*Msg
+	msgs   []Msg
 }
 
 func (s *recordSink) Accept(now uint64) bool       { return s.accept }
-func (s *recordSink) HandleMsg(m *Msg, now uint64) { s.msgs = append(s.msgs, m) }
+func (s *recordSink) HandleMsg(m *Msg, now uint64) { s.msgs = append(s.msgs, *m) }
 
 func TestNodeOutboundFIFOOrder(t *testing.T) {
 	net := noc.NewGMN(noc.GMNConfig{Nodes: 2, Delay: 2, FIFODepth: 8, SrcDepth: 4})

@@ -46,6 +46,19 @@ type WTICache struct {
 	// complete.
 	strictStore bool
 	strictDone  bool
+
+	// lastStoreFull records that the most recent Store attempt was
+	// rejected on a full write buffer: the exact stall SkipStallCycles
+	// compensates when the engine leaps over the retry cycles.
+	lastStoreFull bool
+
+	// sendVeto is the first cycle after the most recent write-buffer
+	// departure (entry handed to the outbound FIFO). That cycle must
+	// execute: a data-stalled load blocked on HasUnsentInBlock may be
+	// unblocked by the departure, and the CPU's retry acts one cycle
+	// after it — the send-side analogue of Node.recvVeto. Monotonic;
+	// stale values below the current cycle are inert.
+	sendVeto uint64
 }
 
 type wtiPending struct {
@@ -154,6 +167,7 @@ func (c *WTICache) Load(now uint64, addr uint32, byteEn uint8) (uint32, bool) {
 // Store implements DataCache.
 func (c *WTICache) Store(now uint64, addr uint32, word uint32, byteEn uint8) bool {
 	waddr := WordAddr(addr)
+	c.lastStoreFull = false
 	if c.p.StrictSC {
 		if c.strictDone {
 			c.strictDone = false
@@ -171,6 +185,7 @@ func (c *WTICache) Store(now uint64, addr uint32, word uint32, byteEn uint8) boo
 	}
 	if !c.wb.Push(now, waddr, word, byteEn) {
 		c.st.WBufFullStalls++
+		c.lastStoreFull = true
 		return false
 	}
 	c.recordStore(addr, waddr, word, byteEn)
@@ -232,11 +247,14 @@ func (c *WTICache) tryIssue(now uint64) {
 	if !c.pend.active || c.pend.issued || !c.node.CanSendReq() {
 		return
 	}
-	var m *Msg
+	m := c.node.NewMsg()
+	m.Src = c.id
+	m.Addr = c.pend.addr
 	if c.pend.isSwap {
-		m = &Msg{Kind: ReqSwap, Src: c.id, Addr: c.pend.addr, Word: c.pend.newVal}
+		m.Kind = ReqSwap
+		m.Word = c.pend.newVal
 	} else {
-		m = &Msg{Kind: ReqRead, Src: c.id, Addr: c.pend.addr}
+		m.Kind = ReqRead
 	}
 	if c.node.TrySendReq(m, c.bankNode(c.pend.addr), now) {
 		c.pend.issued = true
@@ -248,10 +266,43 @@ func (c *WTICache) tryIssue(now uint64) {
 func (c *WTICache) Tick(now uint64) {
 	c.tryIssue(now)
 	if e, ok := c.wb.NextToSend(); ok && c.node.CanSendReq() {
-		m := &Msg{Kind: ReqWriteThrough, Src: c.id, Addr: e.addr, Word: e.word, ByteEn: e.byteEn}
+		m := c.node.NewMsg()
+		m.Kind = ReqWriteThrough
+		m.Src = c.id
+		m.Addr = e.addr
+		m.Word = e.word
+		m.ByteEn = e.byteEn
 		if c.node.TrySendReq(m, c.bankNode(e.addr), now) {
 			e.sent = true
+			c.sendVeto = now + 1
 		}
+	}
+}
+
+// TickIdle reports whether the cache can prove every cycle from cur on
+// dead until protocol state changes: no unissued pending request (an
+// issue retry charges send-stall counters), no write-buffer entry ready
+// to depart, and no departure in the cycle just executed (sendVeto —
+// the CPU's stalled retry may react to it at cur). Pure; the
+// system-level leaper consults it.
+func (c *WTICache) TickIdle(cur uint64) bool {
+	if c.sendVeto >= cur {
+		return false
+	}
+	if c.pend.active && !c.pend.issued {
+		return false
+	}
+	_, ok := c.wb.NextToSend()
+	return !ok
+}
+
+// SkipStallCycles account-compensates k leaped cycles during which the
+// CPU would have retried a store against a full write buffer: each
+// retry charges the cache's and the buffer's full-stall counters.
+func (c *WTICache) SkipStallCycles(k uint64) {
+	if c.lastStoreFull {
+		c.st.WBufFullStalls += k
+		c.wb.FullStalls += k
 	}
 }
 
@@ -291,17 +342,26 @@ func (c *WTICache) HandleMsg(m *Msg, now uint64) {
 		if c.arr.invalidate(m.Addr) {
 			c.st.CopiesDropped++
 		}
-		c.node.SendCtrl(&Msg{Kind: RspInvAck, Src: c.id, Addr: m.Addr}, c.bankNode(m.Addr), now)
+		c.sendInvAck(m.Addr, now)
 	case CmdUpdate:
 		c.st.UpdatesReceived++
 		if set, hit := c.arr.lookup(m.Addr); hit {
 			c.arr.writeWord(set, WordAddr(m.Addr), m.Word, m.ByteEn)
 			c.st.UpdatesApplied++
 		}
-		c.node.SendCtrl(&Msg{Kind: RspInvAck, Src: c.id, Addr: m.Addr}, c.bankNode(m.Addr), now)
+		c.sendInvAck(m.Addr, now)
 	default:
 		panic(fmt.Sprintf("coherence: WTI cache %d: unhandled %v", c.id, m))
 	}
+}
+
+// sendInvAck acknowledges a directory command for addr.
+func (c *WTICache) sendInvAck(addr uint32, now uint64) {
+	m := c.node.NewMsg()
+	m.Kind = RspInvAck
+	m.Src = c.id
+	m.Addr = addr
+	c.node.SendCtrl(m, c.bankNode(addr), now)
 }
 
 // Drained implements DataCache.

@@ -84,6 +84,13 @@ type Config struct {
 	// campaign; only wall-clock time changes. The flag is therefore
 	// deliberately absent from Describe and the result JSON.
 	Shards int
+
+	// DisableLeap turns off the event-wheel cycle leaper (see
+	// System.NextWake): the engine then steps every cycle as before.
+	// Leaping is semantics-preserving — results are byte-identical
+	// either way — so the switch exists for equivalence tests and
+	// debugging, and is absent from Describe and the result JSON.
+	DisableLeap bool
 }
 
 // DefaultConfig returns the paper's platform for n CPUs on the given

@@ -1,0 +1,115 @@
+package core
+
+import "repro/internal/coherence"
+
+// The system-level leaper: System implements sim.Leaper by folding the
+// wake times of every component into one "next interesting cycle", so
+// the engine can leap over spans in which provably nothing happens —
+// every CPU stalled on the network, every cache's retry machinery
+// settled, every queued message latched for a future cycle, and every
+// in-flight packet still crossing the interconnect.
+//
+// The contract with sim.Engine.Run: NextWake(cur) returns the earliest
+// cycle >= cur that must execute (cur itself vetoes leaping), or
+// sim.NoWake when the system can only be re-awoken by the run deadline.
+// SkipTo(cur, target) then account-compensates the per-cycle stall
+// counters the skipped cycles would have incremented, so a leaped run's
+// Result stays byte-identical to a stepped run's.
+
+// tickIdler is implemented by cache controllers whose Tick can prove
+// itself a strict no-op (WTICache, MESICache, ICache), given cur = the
+// next cycle to execute (WTI vetoes the cycle right after a
+// write-buffer departure). A data cache that does not implement it
+// always vetoes leaping — unknown controller types stay correct, just
+// never leaped over.
+type tickIdler interface {
+	TickIdle(cur uint64) bool
+}
+
+// NextWake implements sim.Leaper.
+func (s *System) NextWake(cur uint64) uint64 {
+	if cur == 0 {
+		// The network time base below is cur-1 (the last executed
+		// cycle); before anything executed there is nothing to leap.
+		return cur
+	}
+	if s.FNet != nil {
+		// Under a fault plan the network wrapper may draw from its RNG
+		// streams on any Tick while traffic is staged or in flight, and
+		// a latched liveness error must abort at the same cycle a
+		// stepped run's watchdog poll would.
+		if !s.Net.Quiet() {
+			return cur
+		}
+		for _, nd := range s.Nodes {
+			if nd.RetryErr() != nil {
+				return cur
+			}
+		}
+		for _, nd := range s.BNodes {
+			if nd.RetryErr() != nil {
+				return cur
+			}
+		}
+	}
+	wake := s.Net.NextEvent(cur - 1)
+	if wake <= cur {
+		return cur
+	}
+	for i := range s.CPUs {
+		w := s.CPUs[i].LeapWake(cur)
+		if w <= cur {
+			return cur
+		}
+		if w < wake {
+			wake = w
+		}
+		if ti, ok := s.DCaches[i].(tickIdler); !ok || !ti.TickIdle(cur) {
+			return cur
+		}
+		if !s.ICaches[i].TickIdle(cur) {
+			return cur
+		}
+		w = s.Nodes[i].NextWake(cur)
+		if w <= cur {
+			return cur
+		}
+		if w < wake {
+			wake = w
+		}
+	}
+	for _, nd := range s.BNodes {
+		w := nd.NextWake(cur)
+		if w <= cur {
+			return cur
+		}
+		if w < wake {
+			wake = w
+		}
+	}
+	return wake
+}
+
+// SkipTo implements sim.Leaper: charge the per-cycle stall counters the
+// skipped cycles [cur, target) would have advanced.
+func (s *System) SkipTo(cur, target uint64) {
+	k := target - cur
+	for i := range s.CPUs {
+		c := s.CPUs[i]
+		c.LeapSkip(k)
+		if c.DataStalled() {
+			// A data-stalled CPU retries its access every cycle. Each
+			// retry re-fetches (and re-hits) the current instruction,
+			// and a store against a full write buffer charges the
+			// buffer-full counters per attempt.
+			s.ICaches[i].SkipFetchHits(k)
+			if wti, ok := s.DCaches[i].(*coherence.WTICache); ok {
+				wti.SkipStallCycles(k)
+			}
+		}
+		s.Nodes[i].LeapSkip(cur, target)
+	}
+	for _, nd := range s.BNodes {
+		nd.LeapSkip(cur, target)
+	}
+}

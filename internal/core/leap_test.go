@@ -1,0 +1,131 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/coherence"
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// buildCounterSys wires the lock-counter workload on cfg.
+func buildCounterSys(t *testing.T, cfg Config) *System {
+	t.Helper()
+	mode := codegen.SMP
+	if cfg.Arch == mem.Arch2 {
+		mode = codegen.DS
+	}
+	spec, err := workload.BuildCounter(mem.DefaultLayout(cfg.NumCPUs), mode,
+		workload.CounterParams{Threads: cfg.NumCPUs, Incs: 40})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sys, err := Build(cfg, spec.Image)
+	if err != nil {
+		t.Fatalf("wire: %v", err)
+	}
+	return sys
+}
+
+// TestLeapEquivalence pins the Leaper contract at system level: a run
+// with the event-wheel leaper is byte-identical — full Result, not just
+// the cycle count — to the same run stepped cycle by cycle, across
+// every protocol, interconnect, and the fault-injection path.
+func TestLeapEquivalence(t *testing.T) {
+	points := []struct {
+		name  string
+		proto coherence.Protocol
+		arch  mem.Arch
+		noc   NoCKind
+		fault string
+	}{
+		{name: "wti/gmn", proto: coherence.WTI, arch: mem.Arch1},
+		{name: "wtu/gmn", proto: coherence.WTU, arch: mem.Arch2},
+		{name: "wb/gmn", proto: coherence.WBMESI, arch: mem.Arch2},
+		{name: "moesi/gmn", proto: coherence.MOESI, arch: mem.Arch2},
+		{name: "wti/mesh", proto: coherence.WTI, arch: mem.Arch1, noc: MeshNet},
+		{name: "wb/bus", proto: coherence.WBMESI, arch: mem.Arch1, noc: BusNet},
+		{name: "wti/fault", proto: coherence.WTI, arch: mem.Arch1,
+			fault: "drop=2e-3,delay=1e-3:6,seed=7"},
+	}
+	for _, p := range points {
+		t.Run(p.name, func(t *testing.T) {
+			run := func(disableLeap bool) (*Result, uint64, uint64) {
+				cfg := DefaultConfig(p.proto, p.arch, 2)
+				cfg.NoC = p.noc
+				cfg.DisableLeap = disableLeap
+				if p.fault != "" {
+					plan, err := fault.ParsePlan(p.fault)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg.Fault = plan
+				}
+				sys := buildCounterSys(t, cfg)
+				res, err := sys.Run()
+				if err != nil {
+					t.Fatalf("run (leap=%t): %v", !disableLeap, err)
+				}
+				return res, sys.Engine.Leaps(), sys.Engine.LeapedCycles()
+			}
+			stepped, _, _ := run(true)
+			leaped, leaps, leapedCycles := run(false)
+			// The configs differ only in the DisableLeap knob, which is
+			// deliberately absent from results; blank it for the compare.
+			stepped.Config.DisableLeap = false
+			leaped.Config.DisableLeap = false
+			if !reflect.DeepEqual(stepped, leaped) {
+				t.Errorf("results differ:\nstepped: %+v\nleaped:  %+v", stepped, leaped)
+			}
+			if leaps == 0 || leapedCycles == 0 {
+				t.Errorf("leaper never leaped (leaps=%d cycles=%d) — the equivalence was vacuous", leaps, leapedCycles)
+			}
+		})
+	}
+}
+
+// TestLeapAccountingAcrossShards pins that the sharded BSP schedule
+// takes exactly the same leaps as the serial one: leap count, leaped
+// cycles, and the Result are invariant under -shards.
+func TestLeapAccountingAcrossShards(t *testing.T) {
+	run := func(shards int) (*Result, uint64, uint64) {
+		cfg := DefaultConfig(coherence.WTI, mem.Arch2, 4)
+		cfg.Shards = shards
+		sys := buildCounterSys(t, cfg)
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatalf("run (shards=%d): %v", shards, err)
+		}
+		return res, sys.Engine.Leaps(), sys.Engine.LeapedCycles()
+	}
+	serialRes, serialLeaps, serialCycles := run(0)
+	shardRes, shardLeaps, shardCycles := run(4)
+	serialRes.Config.Shards = 0
+	shardRes.Config.Shards = 0
+	if !reflect.DeepEqual(serialRes, shardRes) {
+		t.Errorf("results differ across shards:\nserial:  %+v\nsharded: %+v", serialRes, shardRes)
+	}
+	if serialLeaps != shardLeaps || serialCycles != shardCycles {
+		t.Errorf("leap accounting differs: serial %d leaps/%d cycles, sharded %d leaps/%d cycles",
+			serialLeaps, serialCycles, shardLeaps, shardCycles)
+	}
+	if serialLeaps == 0 {
+		t.Error("leaper never leaped — the invariance was vacuous")
+	}
+}
+
+// TestLeapCounterExposed pins that the engine reports its leap
+// accounting (the EXPERIMENTS worked example reads these).
+func TestLeapCounterExposed(t *testing.T) {
+	sys := buildCounterSys(t, DefaultConfig(coherence.WTI, mem.Arch1, 2))
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	leaps, cycles := sys.Engine.Leaps(), sys.Engine.LeapedCycles()
+	if leaps == 0 || cycles < leaps {
+		t.Fatalf("leap accounting implausible: %d leaps, %d leaped cycles", leaps, cycles)
+	}
+}

@@ -171,6 +171,12 @@ func Build(cfg Config, img *mem.Image) (*System, error) {
 			func(now uint64) bool { return net.Quiet() },
 		))
 	}
+	// Event-wheel cycle leaping: the system is its own leaper (see
+	// leap.go). Semantics-preserving, so it is on for every schedule;
+	// DisableLeap exists for equivalence tests and debugging.
+	if !cfg.DisableLeap {
+		sys.Engine.SetLeaper(sys)
+	}
 	// Liveness watchdog: under a fault plan, a port that burns through
 	// its retransmission budget aborts the run right away with a
 	// replayable diagnostic instead of limping to the cycle deadline.

@@ -34,24 +34,30 @@ func (s *System) TraceMessages(w io.Writer, limit int, rx bool) {
 		ids = make(map[*coherence.Msg]uint64)
 	}
 	hook := func(now uint64, dir string, self, peer int, m *coherence.Msg) {
+		id, from, to := seq, self, peer
 		if dir == "tx" {
 			seq++
+			id = seq
 			if rx {
 				ids[m] = seq
 			}
-		} else if !rx {
-			return
+		} else {
+			if !rx {
+				return
+			}
+			// Consume the id mapping unconditionally — before the limit
+			// check. The delivered Msg recycles into the receiver's pool
+			// the moment the rx hook returns, so an entry left behind
+			// would alias the pointer's next incarnation: the map may
+			// never retain a pooled Msg past its delivery.
+			id = ids[m]
+			delete(ids, m)
+			from, to = peer, self
 		}
 		if limit > 0 && lines >= limit {
 			return
 		}
 		lines++
-		id, from, to := seq, self, peer
-		if dir == "rx" {
-			id = ids[m]
-			delete(ids, m)
-			from, to = peer, self
-		}
 		fmt.Fprintf(w, "[%8d] %s #%d %s --%s--> %s addr=%#x\n",
 			now, dir, id, s.nodeName(from), m.Kind, s.nodeName(to), m.Addr)
 	}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/mem"
+)
+
+// traceCounter runs the lock-counter workload with message tracing
+// attached and returns the captured log.
+func traceCounter(t *testing.T, limit int, rx bool) string {
+	t.Helper()
+	sys := buildCounterSys(t, DefaultConfig(coherence.WTI, mem.Arch1, 2))
+	var buf bytes.Buffer
+	sys.TraceMessages(&buf, limit, rx)
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestTraceRxIDsSurvivePooledMsgReuse pins the recorder side of the Msg
+// pool's ownership contract: the rx-matching map keys messages by
+// pointer, and every delivered Msg recycles into the receiver's free
+// list the moment the rx hook returns — the same pointer is minted
+// again for a later, unrelated message. The trace must still pair every
+// rx line with exactly the tx line of the same message: each tx id
+// unique, each rx id previously issued by a tx, no id delivered twice.
+// A recorder that retained a pooled pointer past delivery would alias
+// the pointer's next incarnation and double- or mis-deliver an id.
+func TestTraceRxIDsSurvivePooledMsgReuse(t *testing.T) {
+	out := traceCounter(t, 0, true)
+	txSeen := make(map[uint64]bool)
+	rxSeen := make(map[uint64]bool)
+	var txLines, rxLines int
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		// [   cycle] dir #id from --kind--> to addr=0x... — the padded
+		// cycle field may split, so locate the #id token and take the
+		// direction right before it.
+		f := strings.Fields(sc.Text())
+		idIdx := -1
+		for i, tok := range f {
+			if strings.HasPrefix(tok, "#") {
+				idIdx = i
+				break
+			}
+		}
+		if idIdx < 1 {
+			t.Fatalf("unparseable trace line: %q", sc.Text())
+		}
+		id, err := strconv.ParseUint(f[idIdx][1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad id in %q: %v", sc.Text(), err)
+		}
+		switch f[idIdx-1] {
+		case "tx":
+			txLines++
+			if txSeen[id] {
+				t.Fatalf("tx id %d issued twice", id)
+			}
+			txSeen[id] = true
+		case "rx":
+			rxLines++
+			if !txSeen[id] {
+				t.Fatalf("rx id %d was never issued by a tx", id)
+			}
+			if rxSeen[id] {
+				t.Fatalf("rx id %d delivered twice (stale pooled-pointer mapping)", id)
+			}
+			rxSeen[id] = true
+		default:
+			t.Fatalf("unknown direction in %q", sc.Text())
+		}
+	}
+	if txLines == 0 || rxLines == 0 {
+		t.Fatalf("trace empty (tx=%d rx=%d)", txLines, rxLines)
+	}
+	// Every injected message is eventually delivered on a reliable NoC.
+	if txLines != rxLines {
+		t.Fatalf("tx lines (%d) != rx lines (%d)", txLines, rxLines)
+	}
+}
+
+// TestTraceLimitOnlyTruncates pins that the line limit cuts the log off
+// and changes nothing else: the limited log is a byte prefix of the
+// unlimited one. The rx id consumption in particular must keep running
+// behind a reached limit — it releases the pooled-pointer mapping, not
+// just a print.
+func TestTraceLimitOnlyTruncates(t *testing.T) {
+	full := traceCounter(t, 0, true)
+	const limit = 25
+	limited := traceCounter(t, limit, true)
+	if n := strings.Count(limited, "\n"); n != limit {
+		t.Fatalf("limited trace has %d lines, want %d", n, limit)
+	}
+	if !strings.HasPrefix(full, limited) {
+		t.Fatalf("limited trace is not a prefix of the full trace:\nlimited:\n%s\nfull head:\n%s",
+			limited, full[:len(limited)])
+	}
+}

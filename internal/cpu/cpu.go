@@ -16,6 +16,18 @@ import (
 	"repro/internal/obs"
 )
 
+// Per-tick outcomes, recorded for the event-wheel oracle. outcomeActive
+// (the zero value) means the core retired or attempted real work and
+// must execute every cycle; the others are stall states whose per-cycle
+// effect is exactly one counter bump, which LeapSkip can compensate.
+const (
+	outcomeActive uint8 = iota
+	outcomeHalted
+	outcomeFPU
+	outcomeInstStall
+	outcomeDataStall
+)
+
 // Register conventions used by the code generator and runtime: r0 is
 // hardwired zero; at reset r1 holds the CPU id and r2 the CPU count;
 // r29 is the stack pointer and r31 the link register.
@@ -71,6 +83,12 @@ type CPU struct {
 	busyUntil uint64
 	halted    bool
 
+	// outcome records what the most recent Tick did — the core's
+	// contribution to the system event wheel (LeapWake/LeapSkip). It is
+	// updated at every Tick return point, so between cycles it always
+	// describes the core's current steady state.
+	outcome uint8
+
 	// One-entry decoded-instruction cache. isa.Decode is a pure
 	// function of the word, so reusing the previous decode is invisible
 	// to execution; it pays because stall retries and tight loops fetch
@@ -107,6 +125,7 @@ func (c *CPU) Reset(entry, sp uint32, numCPUs int) {
 	c.halted = false
 	c.busyUntil = 0
 	c.lastValid = false
+	c.outcome = outcomeActive
 }
 
 // Halted reports whether the core has executed HALT.
@@ -133,16 +152,19 @@ func (c *CPU) setReg(r uint8, v uint32) {
 // Tick advances the core by one cycle.
 func (c *CPU) Tick(now uint64) {
 	if c.halted {
+		c.outcome = outcomeHalted
 		return
 	}
 	if c.busyUntil > now {
 		c.st.FPUBusyCycles++
+		c.outcome = outcomeFPU
 		return
 	}
 	word, ok := c.icache.Fetch(now, c.pc)
 	if !ok {
 		c.st.InstStallCycles++
 		c.noteStall(now, 1)
+		c.outcome = outcomeInstStall
 		return
 	}
 	var in isa.Instr
@@ -161,6 +183,7 @@ func (c *CPU) Tick(now uint64) {
 		if !c.execMem(now, in) {
 			c.st.DataStallCycles++
 			c.noteStall(now, 2)
+			c.outcome = outcomeDataStall
 			return
 		}
 		c.retire(now, c.pc+4)
@@ -175,7 +198,49 @@ func (c *CPU) retire(now uint64, nextPC uint32) {
 	}
 	c.st.Instructions++
 	c.pc = nextPC
+	c.outcome = outcomeActive
 }
+
+// LeapWake reports the core's contribution to the system event wheel,
+// given cur = the next cycle to execute. An active core vetoes (returns
+// cur): it retires or attempts work every cycle. A halted or
+// cache-stalled core contributes no wake of its own — a stalled core is
+// woken by a message delivery, which the network's event already
+// covers. An FPU-busy core wakes itself when the unit frees.
+func (c *CPU) LeapWake(cur uint64) uint64 {
+	switch c.outcome {
+	case outcomeHalted, outcomeInstStall, outcomeDataStall:
+		return ^uint64(0)
+	case outcomeFPU:
+		if c.busyUntil > cur {
+			return c.busyUntil
+		}
+		return cur
+	default:
+		return cur
+	}
+}
+
+// LeapSkip applies the counter bumps that executing k more cycles in
+// the core's current stall state would have applied — the Leaper
+// compensation matching LeapWake. The stalled retry paths themselves
+// are pure (re-polling a pending miss or a full write buffer changes
+// no state), so the counters are the whole per-cycle effect.
+func (c *CPU) LeapSkip(k uint64) {
+	switch c.outcome {
+	case outcomeFPU:
+		c.st.FPUBusyCycles += k
+	case outcomeInstStall:
+		c.st.InstStallCycles += k
+	case outcomeDataStall:
+		c.st.DataStallCycles += k
+	}
+}
+
+// DataStalled reports whether the core's last cycle was a data-access
+// stall; the system leaper uses it to route the write-buffer-full
+// compensation to the data cache alongside LeapSkip.
+func (c *CPU) DataStalled() bool { return c.outcome == outcomeDataStall }
 
 // noteStall extends or begins the stall run of the given kind.
 func (c *CPU) noteStall(now uint64, kind uint8) {

@@ -1,0 +1,71 @@
+package exp
+
+// Leap-equivalence regression grid over real workloads. The water rows
+// are the ones that exposed the write-buffer-departure veto (a
+// data-stalled load blocked on HasUnsentInBlock reacts one cycle after
+// the departing entry leaves for the network, with no message delivery
+// to wake it); internal/core's TestLeapEquivalence covers the
+// per-protocol/per-NoC matrix on the cheaper counter workload.
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mem"
+)
+
+func runPoint(t *testing.T, r Run, sc Scale, disableLeap bool) *core.Result {
+	t.Helper()
+	spec, err := BuildSpec(r, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(r.Protocol, r.Arch, r.NumCPUs)
+	cfg.NoC = r.NoC
+	cfg.Mem.StrictSC = r.StrictSC
+	cfg.Mem.CacheToCache = r.C2C
+	cfg.DisableLeap = disableLeap
+	cfg.MaxCycles = 3_000_000
+	if r.Fault != "" {
+		plan, err := fault.ParsePlan(r.Fault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Fault = plan
+	}
+	sys, err := core.Build(cfg, spec.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatalf("%s leap=%t: %v", r.Key(), !disableLeap, err)
+	}
+	return res
+}
+
+func TestLeapEquivalenceWorkloads(t *testing.T) {
+	sc := QuickScale()
+	pts := []Run{
+		{Bench: Water, Protocol: coherence.WTI, Arch: mem.Arch1, NumCPUs: 2},
+		{Bench: Water, Protocol: coherence.WBMESI, Arch: mem.Arch1, NumCPUs: 2},
+		{Bench: Water, Protocol: coherence.WTI, Arch: mem.Arch2, NumCPUs: 2},
+		{Bench: Water, Protocol: coherence.WBMESI, Arch: mem.Arch2, NumCPUs: 2},
+		{Bench: Water, Protocol: coherence.WTI, Arch: mem.Arch2, NumCPUs: 4},
+		{Bench: Water, Protocol: coherence.WBMESI, Arch: mem.Arch2, NumCPUs: 4},
+		{Bench: Ocean, Protocol: coherence.WTI, Arch: mem.Arch2, NumCPUs: 4},
+		{Bench: Ocean, Protocol: coherence.WTU, Arch: mem.Arch2, NumCPUs: 4},
+		{Bench: Ocean, Protocol: coherence.WTI, Arch: mem.Arch1, NumCPUs: 2, StrictSC: true},
+	}
+	for _, r := range pts {
+		stepped := runPoint(t, r, sc, true)
+		leaped := runPoint(t, r, sc, false)
+		if stepped.Cycles != leaped.Cycles {
+			t.Errorf("%s: cycles stepped=%d leaped=%d (diff %d)",
+				r.Key(), stepped.Cycles, leaped.Cycles,
+				int64(leaped.Cycles)-int64(stepped.Cycles))
+		}
+	}
+}

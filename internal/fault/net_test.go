@@ -46,6 +46,13 @@ func (f *fakeNet) Stats() noc.Stats                      { return noc.Stats{} }
 func (f *fakeNet) PortFlits() []uint64                   { return nil }
 func (f *fakeNet) Nodes() int                            { return f.nodes }
 
+func (f *fakeNet) NextEvent(now uint64) uint64 {
+	if f.Quiet() {
+		return ^uint64(0)
+	}
+	return now + 1
+}
+
 func (f *fakeNet) Quiet() bool {
 	for _, q := range f.queues {
 		if len(q) > 0 {

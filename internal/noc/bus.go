@@ -138,6 +138,38 @@ func (b *Bus) Deliver(node int, now uint64) (Packet, bool) {
 // Quiet implements Network.
 func (b *Bus) Quiet() bool { return b.live.Load() == 0 }
 
+// NextEvent implements Network: a nonempty request queue acts when the
+// bus tenure ends (busyTill), and a delivery queue's head delivers at
+// its readyAt (nondecreasing along the queue, so the head is the
+// minimum).
+func (b *Bus) NextEvent(now uint64) uint64 {
+	next := ^uint64(0)
+	for i := range b.queues {
+		if len(b.queues[i]) == 0 {
+			continue
+		}
+		if b.busyTill <= now {
+			return now + 1
+		}
+		if b.busyTill < next {
+			next = b.busyTill
+		}
+		break
+	}
+	for i := range b.out {
+		q := b.out[i]
+		if len(q) == 0 {
+			continue
+		}
+		if r := q[0].readyAt; r <= now {
+			return now + 1
+		} else if r < next {
+			next = r
+		}
+	}
+	return next
+}
+
 // Stats implements Network.
 func (b *Bus) Stats() Stats { return b.st }
 

@@ -168,6 +168,40 @@ func (g *GMN) Deliver(node int, now uint64) (Packet, bool) {
 // Quiet implements Network.
 func (g *GMN) Quiet() bool { return g.inFlight.Load() == 0 }
 
+// NextEvent implements Network. A source queue's head moves when the
+// port frees (busyUntil); a destination queue's head delivers at its
+// readyAt, which is nondecreasing along the queue, so the head is the
+// queue's minimum. A head already movable or deliverable at now+1
+// makes now+1 the answer — the destination-FIFO-full case included,
+// where returning now+1 is the safe conservative veto.
+func (g *GMN) NextEvent(now uint64) uint64 {
+	next := ^uint64(0)
+	for i := range g.src {
+		s := &g.src[i]
+		if len(s.queue) == 0 {
+			continue
+		}
+		if s.busyUntil <= now {
+			return now + 1
+		}
+		if s.busyUntil < next {
+			next = s.busyUntil
+		}
+	}
+	for i := range g.dst {
+		d := &g.dst[i]
+		if len(d.queue) == 0 {
+			continue
+		}
+		if r := d.queue[0].readyAt; r <= now {
+			return now + 1
+		} else if r < next {
+			next = r
+		}
+	}
+	return next
+}
+
 // GMNPortState is one port's queue contents for inspection, with times
 // expressed relative to the snapshot cycle.
 type GMNPortState struct {

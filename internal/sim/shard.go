@@ -40,10 +40,17 @@ type CommitIdler interface {
 // concurrently during the compute phase, so they must not share
 // mutable state outside their Commit methods. Register is equivalent
 // to RegisterShard(0, ...). shard must be non-negative.
+//
+// Registering a ticker detaches any installed Leaper: the event-wheel
+// oracle proves cycles dead for the components it knows, and a ticker
+// added behind its back (a trace driver, a test probe) would have its
+// work leaped over. Callers that want leaping with extra tickers must
+// SetLeaper an oracle that covers them, after registration.
 func (e *Engine) RegisterShard(shard int, name string, t Ticker) {
 	if shard < 0 {
 		panic("sim: RegisterShard needs a non-negative shard")
 	}
+	e.leaper = nil
 	e.tickers = append(e.tickers, t)
 	id, _ := t.(Idler)
 	e.idlers = append(e.idlers, id)

@@ -51,6 +51,55 @@ type Idler interface {
 	Idle(now uint64) bool
 }
 
+// Leaper is the event-wheel interface: a single system-level oracle
+// that lets Run skip provably-dead cycles wholesale instead of
+// executing them one Step at a time. It generalises Idler from "this
+// component does nothing this cycle" to "nothing in the whole system
+// does anything until cycle w".
+//
+// NextWake(cur) is called with cur = the next cycle Run would execute.
+// It returns:
+//
+//   - cur (or anything <= cur) to veto leaping — some component may do
+//     real work at cur;
+//   - NoWake (^uint64(0)) when no future event is scheduled at all —
+//     the system is inert until an external deadline;
+//   - otherwise the earliest cycle w > cur at which some component must
+//     execute. Every cycle in [cur, w) must be dead: executing it would
+//     change nothing beyond the fixed per-cycle counter bumps that
+//     SkipTo compensates.
+//
+// SkipTo(cur, target) is then called for each leaped span: it must
+// apply exactly the statistic increments (stall counters, backoff
+// counters, ...) that executing cycles [cur, target) one by one would
+// have applied, and nothing else. Run may split one leap into several
+// SkipTo calls at periodic-hook boundaries; the spans are contiguous.
+//
+// Both methods must be pure apart from SkipTo's counter compensation:
+// a run with a Leaper attached is byte-identical to the same run
+// without one, just faster.
+type Leaper interface {
+	NextWake(cur uint64) uint64
+	SkipTo(cur, target uint64)
+}
+
+// NoWake is the NextWake result meaning "no future event scheduled".
+const NoWake = ^uint64(0)
+
+// SetLeaper attaches the event-wheel oracle consulted by Run after
+// every executed cycle. Passing nil detaches it. Registering any
+// further ticker also detaches it (see RegisterShard): the oracle
+// cannot vouch for components it does not know about.
+func (e *Engine) SetLeaper(l Leaper) { e.leaper = l }
+
+// Leaps reports how many leap spans Run has taken (diagnostics).
+func (e *Engine) Leaps() uint64 { return e.leaps }
+
+// LeapedCycles reports how many cycles Run skipped via the Leaper
+// (diagnostics; a leaped run still counts these in its cycle total,
+// it just never executed them).
+func (e *Engine) LeapedCycles() uint64 { return e.leapedCycles }
+
 // idleTicker pairs a tick function with an idleness predicate.
 type idleTicker struct {
 	tick func(now uint64)
@@ -84,6 +133,12 @@ type Engine struct {
 	periodics []periodic
 	watchdogs []func(now uint64) error
 	skipped   uint64
+
+	// leaper, when non-nil, is the event-wheel oracle Run consults to
+	// skip dead cycles; leaps/leapedCycles account for what it skipped.
+	leaper       Leaper
+	leaps        uint64
+	leapedCycles uint64
 
 	// Execution plan, derived lazily from the registrations: tickers in
 	// shard-major compute order, per-shard offsets, and the registration-
@@ -199,8 +254,22 @@ func (e *ErrDeadline) Error() string {
 
 // Run advances the simulation until done() reports true, checking the
 // predicate once per cycle after all tickers have run. It returns the
-// number of cycles executed. If maxCycles is non-zero and elapses first,
-// Run stops and returns ErrDeadline.
+// number of cycles elapsed (executed plus leaped). If maxCycles is
+// non-zero and elapses first, Run stops and returns ErrDeadline.
+//
+// When a Leaper is attached (SetLeaper), Run consults it after the
+// done and deadline checks, before executing the next cycle, and may
+// advance e.now over a span of dead cycles without executing them.
+// Leaping before the checks rather than after Step means a predicate
+// that becomes true (or a deadline that expires) is observed at the
+// exact cycle stepped execution would have observed it — the leap can
+// never overshoot the end of the run. Leaps are clamped to the
+// deadline, and broken at every Every-hook boundary so each periodic
+// hook still fires at cycles interval, 2*interval, ... with the
+// counter compensation for the span already applied. Watchdogs are
+// not polled inside a leaped span: a leapable window is frozen by
+// definition, so a watchdog that would fire during it already fired
+// at the poll after the last executed cycle.
 func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
 	start := e.now
 	for {
@@ -210,6 +279,11 @@ func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
 		if maxCycles != 0 && e.now-start >= maxCycles {
 			return e.now - start, &ErrDeadline{Cycles: maxCycles}
 		}
+		if e.leaper != nil && e.leap(start, maxCycles) {
+			// The leap advanced e.now; re-run the done and deadline
+			// checks at the leaped-to cycle before executing it.
+			continue
+		}
 		e.Step()
 		for _, w := range e.watchdogs {
 			if err := w(e.now); err != nil {
@@ -217,4 +291,54 @@ func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
 			}
 		}
 	}
+}
+
+// leap consults the Leaper once and, if a dead span lies ahead,
+// advances e.now across it boundary by boundary: each segment ends at
+// the nearest periodic-hook multiple (or the target), SkipTo applies
+// the segment's counter compensation, and the hooks due at the segment
+// end fire — exactly the observation sequence stepped execution would
+// have produced. It reports whether it advanced e.now.
+func (e *Engine) leap(start, maxCycles uint64) bool {
+	cur := e.now
+	wake := e.leaper.NextWake(cur)
+	if wake <= cur {
+		return false
+	}
+	target := wake
+	if maxCycles != 0 {
+		if deadline := start + maxCycles; target > deadline {
+			// Clamp to the deadline: cycles past it would never have
+			// been executed, so they must not be leaped either.
+			target = deadline
+		}
+	} else if wake == NoWake {
+		// No future event and no deadline to clamp to: leaping would
+		// jump nowhere meaningful. Fall back to stepped execution
+		// (done() may still end the run).
+		return false
+	}
+	if target <= cur {
+		return false
+	}
+	e.leaps++
+	for e.now < target {
+		next := target
+		for i := range e.periodics {
+			p := &e.periodics[i]
+			if b := (e.now/p.interval + 1) * p.interval; b < next {
+				next = b
+			}
+		}
+		e.leaper.SkipTo(e.now, next)
+		e.leapedCycles += next - e.now
+		e.now = next
+		for i := range e.periodics {
+			p := &e.periodics[i]
+			if e.now%p.interval == 0 {
+				p.fn(e.now)
+			}
+		}
+	}
+	return true
 }

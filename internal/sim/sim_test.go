@@ -186,6 +186,261 @@ func TestEngineIdleSkip(t *testing.T) {
 	}
 }
 
+// scriptLeaper drives the engine's leap path from a table: wake decides
+// NextWake per consultation, and every SkipTo span is recorded so tests
+// can pin the exact segmentation Run performed.
+type scriptLeaper struct {
+	wake  func(cur uint64) uint64
+	spans [][2]uint64
+}
+
+func (l *scriptLeaper) NextWake(cur uint64) uint64 { return l.wake(cur) }
+func (l *scriptLeaper) SkipTo(cur, target uint64) {
+	l.spans = append(l.spans, [2]uint64{cur, target})
+}
+
+func TestLeapFiresEveryCrossedHookBoundary(t *testing.T) {
+	// A leap over [1,14) must fire the Every(3) hook at 3, 6, 9, 12 and
+	// the Every(5) hook at 5, 10 — every interval multiple the span
+	// crosses — exactly as stepped execution would have.
+	e := NewEngine()
+	steps := 0
+	e.Register("t", TickFunc(func(now uint64) { steps++ }))
+	var fired3, fired5 []uint64
+	e.Every(3, func(now uint64) { fired3 = append(fired3, now) })
+	e.Every(5, func(now uint64) { fired5 = append(fired5, now) })
+	l := &scriptLeaper{wake: func(cur uint64) uint64 {
+		if cur == 1 {
+			return 14
+		}
+		return cur // veto: step normally
+	}}
+	e.SetLeaper(l)
+	cycles, err := e.Run(20, func() bool { return false })
+	var dl *ErrDeadline
+	if !errors.As(err, &dl) || cycles != 20 {
+		t.Fatalf("Run = %d, %v; want the 20-cycle deadline", cycles, err)
+	}
+	want3 := []uint64{3, 6, 9, 12, 15, 18}
+	want5 := []uint64{5, 10, 15, 20}
+	if !equalU64(fired3, want3) || !equalU64(fired5, want5) {
+		t.Fatalf("hooks fired at %v / %v; want %v / %v", fired3, fired5, want3, want5)
+	}
+	// Cycles 1..13 were leaped, so only cycles 0 and 14..19 executed.
+	if steps != 7 {
+		t.Fatalf("executed %d cycles; want 7", steps)
+	}
+	if e.Leaps() != 1 || e.LeapedCycles() != 13 {
+		t.Fatalf("leaps=%d leaped=%d; want 1 leap of 13 cycles", e.Leaps(), e.LeapedCycles())
+	}
+	// The leap was segmented at every hook boundary, contiguously.
+	wantSpans := [][2]uint64{{1, 3}, {3, 5}, {5, 6}, {6, 9}, {9, 10}, {10, 12}, {12, 14}}
+	if len(l.spans) != len(wantSpans) {
+		t.Fatalf("SkipTo spans = %v; want %v", l.spans, wantSpans)
+	}
+	for i := range wantSpans {
+		if l.spans[i] != wantSpans[i] {
+			t.Fatalf("SkipTo spans = %v; want %v", l.spans, wantSpans)
+		}
+	}
+}
+
+func TestLeapClampedToDeadline(t *testing.T) {
+	// NoWake with a deadline: the engine leaps straight to the deadline
+	// — never past it — and reports ErrDeadline at the exact cycle
+	// count a stepped run would have.
+	e := NewEngine()
+	steps := 0
+	e.Register("t", TickFunc(func(now uint64) { steps++ }))
+	l := &scriptLeaper{wake: func(cur uint64) uint64 { return NoWake }}
+	e.SetLeaper(l)
+	cycles, err := e.Run(100, func() bool { return false })
+	var dl *ErrDeadline
+	if !errors.As(err, &dl) || dl.Cycles != 100 {
+		t.Fatalf("Run err = %v; want the 100-cycle deadline", err)
+	}
+	if cycles != 100 || steps != 0 {
+		t.Fatalf("cycles=%d steps=%d; want all 100 cycles leaped", cycles, steps)
+	}
+	if e.Leaps() != 1 || e.LeapedCycles() != 100 {
+		t.Fatalf("leaps=%d leaped=%d", e.Leaps(), e.LeapedCycles())
+	}
+}
+
+func TestLeapNoWakeWithoutDeadlineFallsBackToStepping(t *testing.T) {
+	// With maxCycles 0 there is no deadline to clamp a NoWake leap to:
+	// the engine must keep stepping so done() can end the run.
+	e := NewEngine()
+	count := 0
+	e.Register("c", TickFunc(func(now uint64) { count++ }))
+	l := &scriptLeaper{wake: func(cur uint64) uint64 { return NoWake }}
+	e.SetLeaper(l)
+	cycles, err := e.Run(0, func() bool { return count >= 5 })
+	if err != nil || cycles != 5 || count != 5 {
+		t.Fatalf("Run = %d, %v (count %d); want 5 stepped cycles", cycles, err, count)
+	}
+	if e.Leaps() != 0 || len(l.spans) != 0 {
+		t.Fatalf("leaped %d spans with nothing to leap to", len(l.spans))
+	}
+}
+
+func TestLeapVetoedKeepsStepping(t *testing.T) {
+	// NextWake <= cur is a veto: every cycle executes normally.
+	e := NewEngine()
+	steps := 0
+	e.Register("t", TickFunc(func(now uint64) { steps++ }))
+	consulted := 0
+	l := &scriptLeaper{wake: func(cur uint64) uint64 { consulted++; return cur }}
+	e.SetLeaper(l)
+	if _, err := e.Run(6, func() bool { return false }); err == nil {
+		t.Fatal("want ErrDeadline")
+	}
+	if steps != 6 || e.Leaps() != 0 || e.LeapedCycles() != 0 {
+		t.Fatalf("steps=%d leaps=%d leaped=%d; want 6 stepped, 0 leaped", steps, e.Leaps(), e.LeapedCycles())
+	}
+	// Consulted once per cycle, before executing it.
+	if consulted != 6 {
+		t.Fatalf("leaper consulted %d times; want 6", consulted)
+	}
+}
+
+func TestLeapDoneObservedAtLeapedToCycle(t *testing.T) {
+	// done() and the deadline are re-checked at the leaped-to cycle
+	// before it executes: a predicate that is true there ends the run
+	// without an extra Step, at the same cycle count as stepped
+	// execution.
+	e := NewEngine()
+	steps := 0
+	e.Register("t", TickFunc(func(now uint64) { steps++ }))
+	l := &scriptLeaper{wake: func(cur uint64) uint64 {
+		if cur == 1 {
+			return 9
+		}
+		return cur
+	}}
+	e.SetLeaper(l)
+	cycles, err := e.Run(50, func() bool { return e.Now() >= 9 })
+	if err != nil || cycles != 9 {
+		t.Fatalf("Run = %d, %v; want done at cycle 9", cycles, err)
+	}
+	if steps != 1 {
+		t.Fatalf("steps=%d; want only cycle 0 executed", steps)
+	}
+}
+
+func TestLeapWatchdogPolledPerExecutedCycleOnly(t *testing.T) {
+	// Watchdogs observe frozen state during a leapable window, so they
+	// are polled after executed cycles only — and still abort the run
+	// at the first executed cycle after a leap.
+	e := NewEngine()
+	e.Register("t", TickFunc(func(now uint64) {}))
+	var polled []uint64
+	wantErr := errors.New("stuck")
+	e.Watchdog(func(now uint64) error {
+		polled = append(polled, now)
+		if now >= 11 {
+			return wantErr
+		}
+		return nil
+	})
+	l := &scriptLeaper{wake: func(cur uint64) uint64 {
+		if cur == 1 {
+			return 10
+		}
+		return cur
+	}}
+	e.SetLeaper(l)
+	cycles, err := e.Run(50, func() bool { return false })
+	if !errors.Is(err, wantErr) || cycles != 11 {
+		t.Fatalf("Run = %d, %v; want the watchdog abort at cycle 11", cycles, err)
+	}
+	if !equalU64(polled, []uint64{1, 11}) {
+		t.Fatalf("watchdog polled at %v; want [1 11]", polled)
+	}
+}
+
+// stallComp is a self-leaping component: it stalls (bumping a counter)
+// until wakeAt, does one unit of work, then stalls again. Its Leaper
+// half compensates the stall counter for leaped spans — the same
+// contract the system-level leaper implements for CPU stalls and node
+// backoff.
+type stallComp struct {
+	wakeAt uint64
+	stall  uint64
+	work   int
+}
+
+func (c *stallComp) Tick(now uint64) {
+	if now < c.wakeAt {
+		c.stall++
+		return
+	}
+	c.work++
+	c.wakeAt = now + 7
+}
+
+func (c *stallComp) NextWake(cur uint64) uint64 {
+	if c.wakeAt > cur {
+		return c.wakeAt
+	}
+	return cur
+}
+
+func (c *stallComp) SkipTo(cur, target uint64) { c.stall += target - cur }
+
+func TestLeapEquivalentToSteppedRun(t *testing.T) {
+	// The end-to-end cadence pin: a leaped run and a stepped run of the
+	// same component must produce identical Every-hook observation
+	// sequences, identical final counters, and identical cycle counts.
+	run := func(leap bool) (snaps [][2]uint64, c *stallComp, cycles uint64) {
+		e := NewEngine()
+		c = &stallComp{}
+		e.Register("c", c)
+		e.Every(10, func(now uint64) {
+			snaps = append(snaps, [2]uint64{now, c.stall})
+		})
+		if leap {
+			e.SetLeaper(c)
+		}
+		cycles, err := e.Run(0, func() bool { return c.work >= 13 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snaps, c, cycles
+	}
+	sSnaps, sComp, sCycles := run(false)
+	lSnaps, lComp, lCycles := run(true)
+	if sCycles != lCycles {
+		t.Fatalf("cycle counts diverge: stepped %d, leaped %d", sCycles, lCycles)
+	}
+	if sComp.stall != lComp.stall || sComp.work != lComp.work {
+		t.Fatalf("final state diverges: stepped %+v, leaped %+v", sComp, lComp)
+	}
+	if len(sSnaps) != len(lSnaps) {
+		t.Fatalf("snapshot counts diverge: %v vs %v", sSnaps, lSnaps)
+	}
+	for i := range sSnaps {
+		if sSnaps[i] != lSnaps[i] {
+			t.Fatalf("snapshot %d diverges: stepped %v, leaped %v", i, sSnaps[i], lSnaps[i])
+		}
+	}
+	if lComp.stall == 0 || sCycles < 80 {
+		t.Fatalf("test exercised nothing: stall=%d cycles=%d", lComp.stall, sCycles)
+	}
+}
+
+func equalU64(got, want []uint64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestPortLatency(t *testing.T) {
 	p := NewPort[int](0)
 	p.Send(42, 10)
@@ -249,6 +504,26 @@ func TestPortPeek(t *testing.T) {
 	}
 	if p.Len() != 1 {
 		t.Fatal("peek consumed the message")
+	}
+}
+
+func TestPortNextAt(t *testing.T) {
+	p := NewPort[int](0)
+	if _, ok := p.NextAt(); ok {
+		t.Fatal("NextAt on an empty port")
+	}
+	p.Send(1, 9)
+	p.Send(2, 3)
+	// FIFO: the head's cycle governs even though a later message is
+	// ready earlier.
+	at, ok := p.NextAt()
+	if !ok || at != 9 {
+		t.Fatalf("NextAt = %d, %v; want the head's cycle 9", at, ok)
+	}
+	p.Recv(9)
+	at, ok = p.NextAt()
+	if !ok || at != 3 {
+		t.Fatalf("NextAt after pop = %d, %v; want 3", at, ok)
 	}
 }
 
